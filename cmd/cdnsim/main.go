@@ -1,0 +1,434 @@
+// Command cdnsim reproduces the paper's evaluation on the simulated
+// Internet: each subcommand regenerates one figure or table.
+//
+// Usage:
+//
+//	cdnsim [flags] <command>
+//
+// Commands:
+//
+//	fig2         reconnection & failover CDFs per technique (§5.4.1, Figure 2)
+//	table1       per-site traffic control under prepending (§5.4.2, Table 1)
+//	table2       qualitative tradeoff matrix with measured medians (Table 2)
+//	fig3         unicast withdrawal convergence, hypergiant vs testbed (Appendix A, Figure 3)
+//	fig4         anycast announcement propagation (Appendix B, Figure 4)
+//	fig5         prepend-3 vs prepend-5 failover (Appendix C.2, Figure 5)
+//	c1           diverging-AS analysis for the pathological site (Appendix C.1)
+//	unicast-dns  unicast failover gated by DNS TTL and violations (§2 context)
+//	combined     reactive-anycast + superprefix ablation (§4)
+//	fig2-sites   per-failed-site breakdown of Figure 2 for one technique
+//	prepend-sweep control-vs-failover tradeoff across prepend depths 1-7 (§4)
+//	validate     §5.1 criterion robustness and repeatability checks
+//	all          everything above in paper order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bestofboth/internal/core"
+	"bestofboth/internal/experiment"
+	"bestofboth/internal/stats"
+	"bestofboth/internal/topology"
+)
+
+type options struct {
+	seed       int64
+	targets    int
+	maxTargets int
+	duration   float64
+	sites      string
+	scale      float64
+	c1Site     string
+	ttl        uint
+	clients    int
+	trials     int
+	jsonOut    string
+
+	report *experiment.Report
+}
+
+func main() {
+	opts := options{}
+	flag.Int64Var(&opts.seed, "seed", 42, "simulation seed (identical seeds reproduce runs bit-for-bit)")
+	flag.IntVar(&opts.targets, "targets", 200, "max targets selected per site (§5.1; paper uses 50K)")
+	flag.IntVar(&opts.maxTargets, "probe-targets", 60, "max controllable targets probed per failover run")
+	flag.Float64Var(&opts.duration, "probe-duration", 600, "seconds of probing after a failure (§5.2)")
+	flag.StringVar(&opts.sites, "sites", strings.Join(topology.DefaultSiteCodes, ","), "comma-separated sites to fail")
+	flag.Float64Var(&opts.scale, "scale", 1.0, "topology scale factor (1.0 ≈ 900 ASes)")
+	flag.StringVar(&opts.c1Site, "c1-site", "sea1", "site analyzed by the c1 command")
+	flag.UintVar(&opts.ttl, "ttl", 600, "DNS record TTL for unicast-dns (seconds)")
+	flag.IntVar(&opts.clients, "clients", 2000, "client population for unicast-dns")
+	flag.IntVar(&opts.trials, "trials", 3, "withdrawal/announcement trials per origin (fig3/fig4)")
+	flag.StringVar(&opts.jsonOut, "json", "", "also write results as JSON to this file")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cdnsim [flags] <fig2|table1|table2|fig3|fig4|fig5|c1|unicast-dns|combined|validate|all>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	if err := run(cmd, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "cdnsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func (o options) worldConfig() experiment.WorldConfig {
+	cfg := experiment.WorldConfig{Seed: o.seed}
+	if o.scale != 1.0 {
+		cfg.Topology = topology.GenConfig{
+			NumTransit:    max(20, int(60*o.scale)),
+			NumRegional:   max(8, int(40*o.scale)),
+			NumEyeball:    max(20, int(150*o.scale)),
+			NumStub:       max(40, int(600*o.scale)),
+			NumUniversity: max(8, int(36*o.scale)),
+		}
+	}
+	return cfg
+}
+
+func (o options) failoverConfig() experiment.FailoverConfig {
+	fc := experiment.DefaultFailoverConfig()
+	fc.ProbeDuration = o.duration
+	fc.MaxTargets = o.maxTargets
+	return fc
+}
+
+func (o options) siteList() []string {
+	var out []string
+	for _, s := range strings.Split(o.sites, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func run(cmd string, o options) error {
+	start := time.Now()
+	cfg := o.worldConfig()
+	o.report = experiment.NewReport(o.seed)
+
+	needSelection := map[string]bool{
+		"fig2": true, "table1": true, "table2": true, "fig5": true,
+		"c1": true, "combined": true, "all": true, "validate": true,
+		"fig2-sites": true, "prepend-sweep": true,
+	}
+	var sel *experiment.Selection
+	if needSelection[cmd] {
+		fmt.Printf("selecting targets (§5.1, seed=%d, cap=%d/site)...\n", o.seed, o.targets)
+		var err error
+		sel, err = experiment.SelectTargets(cfg, o.targets)
+		if err != nil {
+			return err
+		}
+		for _, st := range sel.Sites {
+			fmt.Printf("  %-5s proximate=%4d not-routed-by-anycast=%4d\n",
+				st.Code, len(st.Proximate), len(st.NotAnycast))
+		}
+	}
+
+	var cmdErr error
+	switch cmd {
+	case "fig2":
+		_, cmdErr = runFig2(cfg, sel, o, nil)
+	case "table1":
+		_, cmdErr = runTable1(cfg, sel, o)
+	case "table2":
+		fig2, err := runFig2(cfg, sel, o, nil)
+		if err != nil {
+			return err
+		}
+		t1, err := runTable1(cfg, sel, o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\n=== Table 2: technique tradeoffs ===")
+		fmt.Println(experiment.RenderTable2(experiment.Table2(fig2, t1)))
+	case "fig3":
+		cmdErr = runFig3(cfg, o)
+	case "fig4":
+		cmdErr = runFig4(cfg, o)
+	case "fig5":
+		cmdErr = runFig5(cfg, sel, o)
+	case "c1":
+		cmdErr = runC1(cfg, sel, o)
+	case "unicast-dns":
+		cmdErr = runUnicastDNS(cfg, o)
+	case "validate":
+		cmdErr = runValidate(cfg, sel, o)
+	case "fig2-sites":
+		cmdErr = runFig2Sites(cfg, sel, o)
+	case "prepend-sweep":
+		cmdErr = runPrependSweep(cfg, sel, o)
+	case "combined":
+		_, cmdErr = runFig2(cfg, sel, o, []core.Technique{
+			core.ReactiveAnycast{}, core.Combined{},
+		})
+	case "all":
+		fig2, err := runFig2(cfg, sel, o, nil)
+		if err != nil {
+			return err
+		}
+		t1, err := runTable1(cfg, sel, o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\n=== Table 2: technique tradeoffs ===")
+		fmt.Println(experiment.RenderTable2(experiment.Table2(fig2, t1)))
+		if err := runFig3(cfg, o); err != nil {
+			return err
+		}
+		if err := runFig4(cfg, o); err != nil {
+			return err
+		}
+		if err := runFig5(cfg, sel, o); err != nil {
+			return err
+		}
+		if err := runC1(cfg, sel, o); err != nil {
+			return err
+		}
+		if err := runUnicastDNS(cfg, o); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	if cmdErr != nil {
+		return cmdErr
+	}
+	if o.jsonOut != "" {
+		if err := o.report.WriteFile(o.jsonOut); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", o.jsonOut)
+	}
+	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runFig2(cfg experiment.WorldConfig, sel *experiment.Selection, o options, techs []core.Technique) ([]experiment.CDFPair, error) {
+	if techs == nil {
+		techs = []core.Technique{
+			core.ProactiveSuperprefix{},
+			core.ReactiveAnycast{},
+			core.ProactivePrepending{Prepends: 3},
+			core.Anycast{},
+		}
+	}
+	fmt.Println("\n=== Figure 2: reconnection and failover time per technique ===")
+	pairs, err := experiment.Figure2(cfg, sel, techs, o.siteList(), o.failoverConfig())
+	if err != nil {
+		return nil, err
+	}
+	printPairs(pairs, o.duration)
+	if o.report != nil {
+		o.report.Add("figure2", experiment.ExportPairs(pairs, 120))
+	}
+	return pairs, nil
+}
+
+func printPairs(pairs []experiment.CDFPair, xmax float64) {
+	t := &stats.Table{Header: []string{
+		"technique", "n", "recon p50", "recon p90", "failover p50", "failover p90", "failover p99",
+	}}
+	for _, p := range pairs {
+		t.AddRow(p.Technique,
+			fmt.Sprintf("%d", p.Failover.N()),
+			fmt.Sprintf("%.1fs", p.Reconnection.Median()),
+			fmt.Sprintf("%.1fs", p.Reconnection.Percentile(90)),
+			fmt.Sprintf("%.1fs", p.Failover.Median()),
+			fmt.Sprintf("%.1fs", p.Failover.Percentile(90)),
+			fmt.Sprintf("%.1fs", p.Failover.Percentile(99)))
+	}
+	fmt.Println(t.Render())
+	for _, p := range pairs {
+		fmt.Print(p.Failover.Render(p.Technique+" failover", 1, xmax, 48))
+	}
+	fmt.Println("stability between reconnection and failover (§5.4.1):")
+	for _, p := range pairs {
+		st := p.Stability
+		fmt.Printf("  %-25s median bounces %.0f, ≤2 bounces %s, no unreachability %s (n=%d)\n",
+			p.Technique, st.MedianBounces, stats.Pct(st.BounceLE2Share), stats.Pct(st.NoGapShare), st.Reconnected)
+	}
+}
+
+func runTable1(cfg experiment.WorldConfig, sel *experiment.Selection, o options) ([]experiment.Table1Row, error) {
+	fmt.Println("\n=== Table 1: traffic control under proactive-prepending ===")
+	rows, err := experiment.Table1(cfg, sel)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println(experiment.RenderTable1(rows))
+	if o.report != nil {
+		o.report.Add("table1", rows)
+	}
+	return rows, nil
+}
+
+func runFig3(cfg experiment.WorldConfig, o options) error {
+	fmt.Println("\n=== Figure 3: unicast withdrawal convergence (Appendix A) ===")
+	res, err := experiment.Figure3(cfg, o.trials)
+	if err != nil {
+		return err
+	}
+	if o.report != nil {
+		o.report.Add("figure3", map[string]any{
+			"hypergiant":     experiment.SummarizeCDF(res.Hypergiant, 120),
+			"testbed":        experiment.SummarizeCDF(res.Testbed, 120),
+			"estimatorError": experiment.SummarizeCDF(res.EstimatorError, 0),
+		})
+	}
+	fmt.Print(res.Hypergiant.Render("hypergiant withdrawals", 1, 1000, 48))
+	fmt.Print(res.Testbed.Render("testbed withdrawals", 1, 1000, 48))
+	fmt.Printf("withdrawal-time estimator error: median %.1fs (paper validates ~10s)\n",
+		res.EstimatorError.Median())
+	return nil
+}
+
+func runFig4(cfg experiment.WorldConfig, o options) error {
+	fmt.Println("\n=== Figure 4: anycast announcement propagation (Appendix B) ===")
+	res, err := experiment.Figure4(cfg, 2*o.trials, o.trials)
+	if err != nil {
+		return err
+	}
+	if o.report != nil {
+		o.report.Add("figure4", map[string]any{
+			"census":  experiment.SummarizeCDF(res.AnycastCensus, 120),
+			"testbed": experiment.SummarizeCDF(res.Testbed, 120),
+		})
+	}
+	fmt.Print(res.AnycastCensus.Render("anycast networks (census analogue)", 0.5, 100, 48))
+	fmt.Print(res.Testbed.Render("testbed anycast", 0.5, 100, 48))
+	return nil
+}
+
+func runFig5(cfg experiment.WorldConfig, sel *experiment.Selection, o options) error {
+	fmt.Println("\n=== Figure 5: prepend depth vs failover (Appendix C.2) ===")
+	pairs, err := experiment.Figure5(cfg, sel, o.siteList(), o.failoverConfig())
+	if err != nil {
+		return err
+	}
+	printPairs(pairs, o.duration)
+	if o.report != nil {
+		o.report.Add("figure5", experiment.ExportPairs(pairs, 120))
+	}
+	return nil
+}
+
+func runC1(cfg experiment.WorldConfig, sel *experiment.Selection, o options) error {
+	fmt.Printf("\n=== Appendix C.1: why control is poor at %s ===\n", o.c1Site)
+	res, err := experiment.AppendixC1(cfg, sel, o.c1Site)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiment.RenderC1(o.c1Site, res))
+	if w, werr := experiment.NewWorld(cfg); werr == nil {
+		fmt.Println("example divergences:")
+		fmt.Print(experiment.RenderC1Examples(w.Topo, res, 3))
+	}
+	if o.report != nil {
+		o.report.Add("appendixC1", map[string]any{
+			"site":                   o.c1Site,
+			"compared":               res.Compared,
+			"toIntended":             res.ToIntended,
+			"diverged":               len(res.Diverged),
+			"viaRE":                  res.ViaRE,
+			"byRelationship":         res.ByRelationship,
+			"relationshipComparable": res.RelationshipComparable,
+		})
+	}
+	return nil
+}
+
+// runFig2Sites breaks Figure 2 down per failed site for reactive-anycast,
+// exposing per-site heterogeneity the pooled CDFs hide.
+func runFig2Sites(cfg experiment.WorldConfig, sel *experiment.Selection, o options) error {
+	fmt.Println("\n=== Figure 2 per-site breakdown (reactive-anycast) ===")
+	fc := o.failoverConfig()
+	t := &stats.Table{Header: []string{"failed site", "targets", "recon p50", "failover p50", "failover p90", "no-gap share"}}
+	type siteOut struct {
+		Site     string                    `json:"site"`
+		Failover experiment.CDFSummary     `json:"failover"`
+		Stats    experiment.StabilityStats `json:"stability"`
+	}
+	var exported []siteOut
+	for _, site := range o.siteList() {
+		r, err := experiment.RunFailover(cfg, sel, core.ReactiveAnycast{}, site, fc)
+		if err != nil {
+			return err
+		}
+		pair := experiment.Figure2Single(r, fc)
+		st := pair.Stability
+		t.AddRow(site,
+			fmt.Sprintf("%d", r.Controllable),
+			fmt.Sprintf("%.1fs", pair.Reconnection.Median()),
+			fmt.Sprintf("%.1fs", pair.Failover.Median()),
+			fmt.Sprintf("%.1fs", pair.Failover.Percentile(90)),
+			stats.Pct(st.NoGapShare))
+		exported = append(exported, siteOut{Site: site, Failover: experiment.SummarizeCDF(pair.Failover, 60), Stats: st})
+	}
+	fmt.Println(t.Render())
+	if o.report != nil {
+		o.report.Add("figure2PerSite", exported)
+	}
+	return nil
+}
+
+func runPrependSweep(cfg experiment.WorldConfig, sel *experiment.Selection, o options) error {
+	fmt.Println("\n=== Prepend-depth sweep: control vs failover (§4 tradeoff) ===")
+	points, err := experiment.PrependSweep(cfg, sel, []int{1, 2, 3, 4, 5, 7}, o.siteList(), o.failoverConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiment.RenderSweep(points))
+	if o.report != nil {
+		o.report.Add("prependSweep", points)
+	}
+	return nil
+}
+
+func runValidate(cfg experiment.WorldConfig, sel *experiment.Selection, o options) error {
+	fmt.Println("\n=== Validation: §5.1 criterion robustness & repeatability ===")
+	fc := o.failoverConfig()
+	v, err := experiment.ValidateTargetCriterion(cfg, sel, core.ReactiveAnycast{}, o.siteList()[0], fc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("failover with §5.1 filter:    median %.1fs (n=%d)\n", v.Filtered.Median(), v.Filtered.N())
+	fmt.Printf("failover without the filter:  median %.1fs (n=%d)\n", v.Unfiltered.Median(), v.Unfiltered.N())
+	a, b, err := experiment.RepeatabilityCheck(cfg, core.ReactiveAnycast{}, o.siteList()[0], fc, o.targets)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("repeat with different target set: median %.1fs vs %.1fs\n", a.Median(), b.Median())
+	return nil
+}
+
+func runUnicastDNS(cfg experiment.WorldConfig, o options) error {
+	fmt.Println("\n=== Unicast baseline: DNS-gated failover (§2 context) ===")
+	ucfg := experiment.DefaultUnicastDNSConfig()
+	ucfg.TTL = uint32(o.ttl)
+	ucfg.Clients = o.clients
+	cdf, err := experiment.UnicastDNSFailover(cfg, ucfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(cdf.Render(fmt.Sprintf("unicast failover (TTL=%ds, violations per Allman'20)", o.ttl), 1, ucfg.Horizon, 48))
+	if o.report != nil {
+		o.report.Add("unicastDNS", experiment.SummarizeCDF(cdf, 120))
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

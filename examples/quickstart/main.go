@@ -1,0 +1,77 @@
+// Quickstart: build a simulated Internet, run a CDN with the paper's
+// reactive-anycast technique, fail a site, and watch clients fail over in
+// seconds instead of waiting out DNS caches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bestofboth/internal/core"
+	"bestofboth/internal/dataplane"
+	"bestofboth/internal/experiment"
+)
+
+func main() {
+	// A World bundles the event-driven simulation: topology (~900 ASes),
+	// BGP speakers, FIB-driven data plane, CDN controller, and a route
+	// collector.
+	w, err := experiment.NewWorld(experiment.WorldConfig{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deploy reactive-anycast: per-site unicast prefixes in normal
+	// operation (full DNS steering control); on failure every other site
+	// announces the failed site's prefix.
+	if err := w.CDN.Deploy(core.ReactiveAnycast{}); err != nil {
+		log.Fatal(err)
+	}
+	w.Converge(3600) // "wait one hour to ensure convergence" (§5.2)
+
+	atl := w.CDN.Site("atl")
+	fmt.Printf("deployed %s across %d sites; atl serves %s\n",
+		w.CDN.Technique().Name(), len(w.CDN.Sites()), atl.Addr)
+
+	// Pick a client and confirm DNS-based steering routes it to atl.
+	var client = w.Targets()[10]
+	if got := w.CDN.CatchmentOf(client.ID, atl.Addr); got != nil {
+		fmt.Printf("client %s currently reaches site %s\n", client.Name, got.Code)
+	}
+
+	// Probe the client the way the paper does (§5.2): pings every 1.5 s
+	// with replies addressed to the atl prefix, captured at whichever site
+	// attracts them.
+	prober := dataplane.NewProber(w.Plane, w.CDN.Site("ams").Node, atl.Addr)
+
+	fmt.Println("\nfailing site atl...")
+	t0 := w.Sim.Now()
+	if err := w.CDN.FailSite("atl"); err != nil {
+		log.Fatal(err)
+	}
+	prober.PingEvery(client.ID, 1.5, 120)
+	w.Sim.RunUntil(t0 + 150)
+
+	var lastSite string
+	reconnected := false
+	for _, e := range prober.Capture.Entries() {
+		site := w.Topo.Node(e.Site).Site
+		if !reconnected {
+			fmt.Printf("t=%5.1fs first reply after failure, served by %s (reconnection time)\n",
+				e.Time-t0, site)
+			reconnected = true
+		} else if site != lastSite {
+			fmt.Printf("t=%5.1fs client switched to site %s\n", e.Time-t0, site)
+		}
+		lastSite = site
+	}
+	if !reconnected {
+		fmt.Println("client never reconnected (unexpected for reactive-anycast)")
+		return
+	}
+	fmt.Printf("\nclient ends on site %s — no DNS record update was needed for\n", lastSite)
+	fmt.Println("reachability: the other sites' reactive announcements of the atl")
+	fmt.Println("prefix restored the path at BGP speed (~seconds, §4), while the")
+	fmt.Println("stale DNS answer would have pointed at the dead address for up to")
+	fmt.Println("TTL seconds (and often far longer, per the TTL-violation studies).")
+}

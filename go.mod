@@ -1,0 +1,3 @@
+module bestofboth
+
+go 1.22

@@ -1,0 +1,296 @@
+// Package bgp implements an AS-level BGP-4 simulator: UPDATE propagation,
+// per-neighbor adj-RIB-in, the standard decision process, Gao-Rexford
+// import preferences and export filtering, AS-path prepending, per-neighbor
+// origination policies, and MRAI-paced advertisement with unpaced
+// withdrawals.
+//
+// The model reproduces the two convergence regimes the paper's techniques
+// depend on:
+//
+//   - Withdrawal of a prefix with no valid alternative origin triggers BGP
+//     path exploration: routers fall back to progressively longer stale
+//     routes, each re-advertisement paced by the neighbor's MRAI timer, so
+//     convergence takes on the order of MRAI × exploration depth (the ~100 s
+//     median / minutes tail of Appendix A, after Labovitz et al.).
+//   - A new announcement (or a withdrawal when valid alternative origins
+//     already exist, as in anycast) propagates in a single wave limited only
+//     by per-hop processing and link delay (the ~10 s of Appendix B).
+//
+// Speakers correspond one-to-one with topology nodes. The CDN's sites are
+// distinct speakers sharing one origin ASN, exactly like PEERING sites.
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"slices"
+
+	"bestofboth/internal/netsim"
+	"bestofboth/internal/topology"
+)
+
+// LOCAL_PREF values implementing Gao-Rexford import preferences: prefer
+// customer routes over peer routes over provider routes.
+const (
+	PrefCustomer = 300
+	PrefPeer     = 200
+	PrefProvider = 100
+)
+
+// Well-known communities (RFC 1997).
+const (
+	// CommunityNoExport: routes carrying it are not propagated beyond the
+	// receiving AS.
+	CommunityNoExport uint32 = 0xFFFFFF01
+	// CommunityNoAdvertise: routes carrying it are not advertised to any
+	// peer at all.
+	CommunityNoAdvertise uint32 = 0xFFFFFF02
+)
+
+// Route is a BGP path for one prefix as stored in a RIB.
+type Route struct {
+	Prefix netip.Prefix
+	// Path is the AS path. Path[0] is the ASN of the speaker that sent the
+	// route (after its prepending); Path[len-1] is the origin ASN.
+	Path []topology.ASN
+	// Communities carried with the route (RFC 1997). Transitive: copied on
+	// export unless a policy strips them.
+	Communities []uint32
+	// LocalPref is assigned by the receiver's import policy and is not
+	// transmitted (eBGP semantics).
+	LocalPref int
+	// MED is transmitted and compared between routes from the same
+	// neighbor AS.
+	MED int
+	// OriginNode is simulator-side bookkeeping identifying the speaker that
+	// originated the route. It is carried for catchment accounting and
+	// debugging and takes no part in the decision process.
+	OriginNode topology.NodeID
+	// learnedFrom is the receiver-local session index, or -1 if originated.
+	learnedFrom int
+}
+
+// LearnedFrom returns the receiver-local session index the route was
+// learned on, or -1 for locally originated routes. The index refers to the
+// owning node's adjacency list.
+func (r *Route) LearnedFrom() int { return r.learnedFrom }
+
+// Clone returns a deep copy of r.
+func (r *Route) Clone() *Route {
+	c := *r
+	c.Path = slices.Clone(r.Path)
+	c.Communities = slices.Clone(r.Communities)
+	return &c
+}
+
+// HasCommunity reports whether the route carries community c.
+func (r *Route) HasCommunity(c uint32) bool {
+	return slices.Contains(r.Communities, c)
+}
+
+// ContainsASN reports whether asn appears in the AS path.
+func (r *Route) ContainsASN(asn topology.ASN) bool {
+	return slices.Contains(r.Path, asn)
+}
+
+// sameWire reports whether two routes are identical as transmitted on the
+// wire (prefix, path, MED). LocalPref is receiver-local and not compared.
+func sameWire(a, b *Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Prefix == b.Prefix && a.MED == b.MED && slices.Equal(a.Path, b.Path) &&
+		slices.Equal(a.Communities, b.Communities)
+}
+
+// UpdateType distinguishes announcements from withdrawals.
+type UpdateType int8
+
+const (
+	// Announce advertises a (new or replacement) path.
+	Announce UpdateType = iota
+	// Withdraw removes any previously advertised path for the prefix.
+	Withdraw
+)
+
+// String returns "A" or "W", matching common BGP dump notation.
+func (u UpdateType) String() string {
+	if u == Withdraw {
+		return "W"
+	}
+	return "A"
+}
+
+// Update is a single-prefix BGP UPDATE message.
+type Update struct {
+	Type   UpdateType
+	Prefix netip.Prefix
+	Route  *Route // nil for withdrawals
+}
+
+// NeighborPolicy configures origination toward one specific neighbor.
+type NeighborPolicy struct {
+	// Export enables advertising the originated prefix to this neighbor.
+	Export bool
+	// Prepend adds this many extra copies of the origin ASN for this
+	// neighbor (on top of the one mandatory copy).
+	Prepend int
+}
+
+// OriginPolicy configures how a speaker originates a prefix.
+type OriginPolicy struct {
+	// Prepend adds extra copies of the origin ASN on all exports.
+	Prepend int
+	// MED is the multi-exit discriminator attached to the announcement.
+	MED int
+	// Communities attached to the announcement (RFC 1997). The well-known
+	// CommunityNoExport confines the route to the receiving AS.
+	Communities []uint32
+	// PerNeighbor overrides Prepend/export for specific neighbors. A
+	// neighbor present with Export=false is excluded entirely — used by the
+	// scoped variant of proactive-prepending that announces backup routes
+	// only to neighbors that also connect to the primary site.
+	PerNeighbor map[topology.NodeID]NeighborPolicy
+}
+
+// FeedFunc receives a timestamped copy of every best-route change at a
+// speaker, emulating a route collector session (RIS/RouteViews peer).
+type FeedFunc func(now netsim.Seconds, peer topology.NodeID, u Update)
+
+// BestChangeFunc is invoked when a speaker's best route for a prefix
+// changes. route is nil when the prefix became unreachable. Used by the
+// data plane to maintain FIBs.
+type BestChangeFunc func(node topology.NodeID, prefix netip.Prefix, route *Route)
+
+// Config holds the timing constants of the protocol model.
+type Config struct {
+	// MRAI is the minimum route advertisement interval per (session,
+	// prefix). RFC 4271 suggests 30 s for eBGP; withdrawals are not paced
+	// (WRATE off), which is what makes path exploration slow relative to
+	// announcement propagation.
+	MRAI netsim.Seconds
+	// MRAIJitter scales each speaker's MRAI by 1±jitter to avoid phase lock.
+	MRAIJitter float64
+	// ProcMin/ProcMax bound the per-update processing delay applied on
+	// delivery, modeling router update processing and batching.
+	ProcMin, ProcMax netsim.Seconds
+	// Damping enables route-flap damping (RFC 2439) when non-nil. Off by
+	// default: the paper's measurement-era collectors largely post-date
+	// widespread damping deployment, and the evaluation does not assume
+	// it; BenchmarkAblationDamping quantifies its effect.
+	Damping *DampingConfig
+	// PaceWithdrawals applies the MRAI timer to withdrawals as well as
+	// advertisements. RFC 4271 exempts withdrawals, but deployed routers of
+	// the era behind the measured ~100 s withdrawal convergence (Labovitz
+	// et al., and this paper's Appendix A) paced all updates per peer;
+	// without this, the invalidation cascade squelches path exploration in
+	// seconds. The first update after a quiet period is never delayed, so
+	// anycast failover (one withdrawal, pre-existing alternatives) stays
+	// fast either way. Disabled in the zero value; enabled by
+	// DefaultConfig.
+	PaceWithdrawals bool
+}
+
+// DefaultConfig returns timing constants calibrated so that anycast
+// announcement propagation lands near the paper's ~10 s median (Appendix B)
+// and unicast withdrawal convergence near ~100 s median (Appendix A).
+func DefaultConfig() Config {
+	return Config{
+		MRAI:            45,
+		MRAIJitter:      0.3,
+		ProcMin:         0.6,
+		ProcMax:         4.5,
+		PaceWithdrawals: true,
+	}
+}
+
+// Network is the collection of all BGP speakers bound to a topology and a
+// simulation kernel.
+type Network struct {
+	sim      *netsim.Sim
+	topo     *topology.Topology
+	cfg      Config
+	speakers []*Speaker
+	onBest   []BestChangeFunc
+
+	// MessageCount tallies UPDATE messages delivered, for ablation studies.
+	MessageCount uint64
+}
+
+// New builds a Network with one speaker per topology node.
+func New(sim *netsim.Sim, topo *topology.Topology, cfg Config) *Network {
+	n := &Network{sim: sim, topo: topo, cfg: cfg}
+	n.speakers = make([]*Speaker, topo.Len())
+	for _, node := range topo.Nodes {
+		n.speakers[node.ID] = newSpeaker(n, node)
+	}
+	for _, sp := range n.speakers {
+		sp.resolveReverse()
+	}
+	return n
+}
+
+// Sim returns the simulation kernel the network runs on.
+func (n *Network) Sim() *netsim.Sim { return n.sim }
+
+// Topology returns the underlying AS graph.
+func (n *Network) Topology() *topology.Topology { return n.topo }
+
+// Speaker returns the speaker for a node.
+func (n *Network) Speaker(id topology.NodeID) *Speaker {
+	if int(id) < 0 || int(id) >= len(n.speakers) {
+		return nil
+	}
+	return n.speakers[id]
+}
+
+// OnBestChange registers a callback fired on every loc-RIB best change at
+// any speaker. Registration must happen before routes start flowing.
+func (n *Network) OnBestChange(fn BestChangeFunc) {
+	n.onBest = append(n.onBest, fn)
+}
+
+// Originate makes node announce prefix with the given policy. Passing a nil
+// policy uses defaults (no prepending, export to all neighbors).
+func (n *Network) Originate(node topology.NodeID, prefix netip.Prefix, pol *OriginPolicy) error {
+	sp := n.Speaker(node)
+	if sp == nil {
+		return fmt.Errorf("bgp: no speaker for node %d", node)
+	}
+	if pol == nil {
+		pol = &OriginPolicy{}
+	}
+	sp.originate(prefix, pol)
+	return nil
+}
+
+// Withdraw removes node's origination of prefix. It is a no-op if the node
+// does not originate the prefix.
+func (n *Network) Withdraw(node topology.NodeID, prefix netip.Prefix) {
+	if sp := n.Speaker(node); sp != nil {
+		sp.withdrawOrigin(prefix)
+	}
+}
+
+// AttachFeed registers a route-collector session at peer: every best-route
+// change the peer would export is also delivered to fn (full feed, no
+// export policy), after the usual processing delay.
+func (n *Network) AttachFeed(peer topology.NodeID, fn FeedFunc) error {
+	sp := n.Speaker(peer)
+	if sp == nil {
+		return fmt.Errorf("bgp: no speaker for node %d", peer)
+	}
+	sp.feeds = append(sp.feeds, fn)
+	return nil
+}
+
+// ConvergeSynchronously runs the simulation until no BGP events remain or
+// maxVirtual seconds elapse, returning the virtual time consumed.
+func (n *Network) ConvergeSynchronously(maxVirtual netsim.Seconds) netsim.Seconds {
+	start := n.sim.Now()
+	deadline := start + maxVirtual
+	for n.sim.Pending() > 0 && n.sim.Now() < deadline {
+		n.sim.Step()
+	}
+	return n.sim.Now() - start
+}

@@ -1,0 +1,122 @@
+package bgp
+
+import (
+	"math"
+
+	"bestofboth/internal/netsim"
+)
+
+// DampingConfig enables route-flap damping (RFC 2439): a per-(prefix,
+// session) penalty accrues on each flap and decays exponentially; routes
+// whose penalty exceeds the suppress threshold are withheld from the
+// decision process until the penalty decays below the reuse threshold.
+//
+// Damping is how deployed networks protect themselves from churn, and it
+// interacts with the paper's techniques: reactive announcements arriving
+// during the withdrawal churn of a failure can be penalized at routers
+// that already saw the prefix flap, lengthening failover tails (one
+// candidate explanation for the combined technique's poor tail, §4).
+type DampingConfig struct {
+	// Penalty added per flap (default 1000).
+	Penalty float64
+	// SuppressAt is the cutoff penalty above which a route is suppressed
+	// (default 2000).
+	SuppressAt float64
+	// ReuseAt is the penalty below which a suppressed route is restored
+	// (default 750).
+	ReuseAt float64
+	// HalfLife of the exponential decay in seconds (default 900).
+	HalfLife netsim.Seconds
+}
+
+// DefaultDamping returns RFC 2439's example parameters.
+func DefaultDamping() *DampingConfig {
+	return &DampingConfig{Penalty: 1000, SuppressAt: 2000, ReuseAt: 750, HalfLife: 900}
+}
+
+func (d *DampingConfig) fill() {
+	if d.Penalty == 0 {
+		d.Penalty = 1000
+	}
+	if d.SuppressAt == 0 {
+		d.SuppressAt = 2000
+	}
+	if d.ReuseAt == 0 {
+		d.ReuseAt = 750
+	}
+	if d.HalfLife == 0 {
+		d.HalfLife = 900
+	}
+}
+
+// dampState tracks the flap penalty of one (prefix, session).
+type dampState struct {
+	penalty    float64
+	lastUpdate netsim.Seconds
+	suppressed bool
+}
+
+// decayTo brings the penalty forward to time now.
+func (d *dampState) decayTo(now netsim.Seconds, halfLife float64) {
+	if d.penalty > 0 && now > d.lastUpdate {
+		d.penalty *= math.Exp2(-(now - d.lastUpdate) / halfLife)
+		if d.penalty < 1 {
+			d.penalty = 0
+		}
+	}
+	d.lastUpdate = now
+}
+
+// flap records one flap at time now and returns whether the route is now
+// suppressed.
+func (s *Speaker) flap(p *prefixState, sess int, cfg *DampingConfig) bool {
+	if p.damp == nil {
+		p.damp = make([]dampState, len(s.node.Adj))
+	}
+	d := &p.damp[sess]
+	now := s.net.sim.Now()
+	d.decayTo(now, cfg.HalfLife)
+	d.penalty += cfg.Penalty
+	if !d.suppressed && d.penalty >= cfg.SuppressAt {
+		d.suppressed = true
+		s.scheduleReuse(p, sess, cfg)
+	}
+	return d.suppressed
+}
+
+// suppressed reports whether the session's route for this prefix is
+// currently withheld, unsuppressing lazily when the penalty has decayed.
+func (s *Speaker) dampSuppressed(p *prefixState, sess int, cfg *DampingConfig) bool {
+	if cfg == nil || p.damp == nil {
+		return false
+	}
+	d := &p.damp[sess]
+	if !d.suppressed {
+		return false
+	}
+	d.decayTo(s.net.sim.Now(), cfg.HalfLife)
+	if d.penalty <= cfg.ReuseAt {
+		d.suppressed = false
+	}
+	return d.suppressed
+}
+
+// scheduleReuse arranges a recompute when the penalty will have decayed to
+// the reuse threshold.
+func (s *Speaker) scheduleReuse(p *prefixState, sess int, cfg *DampingConfig) {
+	d := &p.damp[sess]
+	if d.penalty <= cfg.ReuseAt {
+		return
+	}
+	wait := cfg.HalfLife * math.Log2(d.penalty/cfg.ReuseAt)
+	prefix := p.prefix
+	s.net.sim.After(wait+0.001, func() {
+		if !s.dampSuppressed(p, sess, cfg) {
+			// The route re-enters the decision process.
+			s.recompute(prefix, p)
+			s.exportAll(prefix, p)
+		} else if p.damp[sess].suppressed {
+			s.scheduleReuse(p, sess, cfg)
+		}
+	})
+}

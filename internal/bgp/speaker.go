@@ -1,0 +1,425 @@
+package bgp
+
+import (
+	"net/netip"
+	"slices"
+
+	"bestofboth/internal/netsim"
+	"bestofboth/internal/topology"
+)
+
+// Speaker is the BGP process of one topology node.
+type Speaker struct {
+	net   *Network
+	node  *topology.Node
+	feeds []FeedFunc
+
+	// reverse[i] is the session index by which node.Adj[i].To refers back
+	// to this speaker.
+	reverse []int
+
+	// lastDeliver[i] is the latest delivery time scheduled on session i.
+	// BGP runs over TCP, so updates on one session must arrive in the
+	// order they were sent even though per-update processing jitter
+	// varies; without this, a withdrawal could overtake an in-flight
+	// announcement and strand a stale route at the neighbor forever.
+	lastDeliver []netsim.Seconds
+	// lastFeedDeliver orders collector-feed deliveries the same way: the
+	// collector session is TCP too.
+	lastFeedDeliver netsim.Seconds
+
+	prefixes map[netip.Prefix]*prefixState
+}
+
+// prefixState holds all per-prefix RIB and pacing state of one speaker.
+type prefixState struct {
+	prefix      netip.Prefix
+	in          []*Route // adj-RIB-in, one slot per session
+	out         []*Route // adj-RIB-out as last transmitted, per session
+	nextAllowed []netsim.Seconds
+	pending     []bool
+	best        *Route
+	origin      *OriginPolicy
+	damp        []dampState // allocated on first flap when damping is on
+}
+
+func newSpeaker(net *Network, node *topology.Node) *Speaker {
+	return &Speaker{
+		net:         net,
+		node:        node,
+		reverse:     make([]int, len(node.Adj)),
+		lastDeliver: make([]netsim.Seconds, len(node.Adj)),
+		prefixes:    make(map[netip.Prefix]*prefixState),
+	}
+}
+
+// Node returns the topology node this speaker runs on.
+func (s *Speaker) Node() *topology.Node { return s.node }
+
+// resolveReverse computes the session index mapping into each neighbor.
+// Called once by the Network after all speakers exist.
+func (s *Speaker) resolveReverse() {
+	for i, adj := range s.node.Adj {
+		peer := s.net.topo.Node(adj.To)
+		s.reverse[i] = -1
+		for j, back := range peer.Adj {
+			if back.To == s.node.ID {
+				s.reverse[i] = j
+				break
+			}
+		}
+	}
+}
+
+func (s *Speaker) state(p netip.Prefix) *prefixState {
+	st, ok := s.prefixes[p]
+	if !ok {
+		n := len(s.node.Adj)
+		st = &prefixState{
+			prefix:      p,
+			in:          make([]*Route, n),
+			out:         make([]*Route, n),
+			nextAllowed: make([]netsim.Seconds, n),
+			pending:     make([]bool, n),
+		}
+		s.prefixes[p] = st
+	}
+	return st
+}
+
+// Best returns the current best route for p, or nil.
+func (s *Speaker) Best(p netip.Prefix) *Route {
+	if st, ok := s.prefixes[p]; ok {
+		return st.best
+	}
+	return nil
+}
+
+// Originates reports whether this speaker currently originates p.
+func (s *Speaker) Originates(p netip.Prefix) bool {
+	st, ok := s.prefixes[p]
+	return ok && st.origin != nil
+}
+
+// AdjIn returns the adj-RIB-in routes for p (nil slots for sessions with no
+// route). The returned slice must not be modified.
+func (s *Speaker) AdjIn(p netip.Prefix) []*Route {
+	if st, ok := s.prefixes[p]; ok {
+		return st.in
+	}
+	return nil
+}
+
+// KnownPrefixes returns every prefix with any state at this speaker.
+func (s *Speaker) KnownPrefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(s.prefixes))
+	for p := range s.prefixes {
+		out = append(out, p)
+	}
+	slices.SortFunc(out, func(a, b netip.Prefix) int {
+		if c := a.Addr().Compare(b.Addr()); c != 0 {
+			return c
+		}
+		return a.Bits() - b.Bits()
+	})
+	return out
+}
+
+func (s *Speaker) originate(p netip.Prefix, pol *OriginPolicy) {
+	st := s.state(p)
+	st.origin = pol
+	s.recompute(p, st)
+	// A policy change (e.g. new prepend depth) may alter exports even when
+	// the best route is unchanged, so always reconsider every session.
+	s.exportAll(p, st)
+}
+
+func (s *Speaker) withdrawOrigin(p netip.Prefix) {
+	st, ok := s.prefixes[p]
+	if !ok || st.origin == nil {
+		return
+	}
+	st.origin = nil
+	s.recompute(p, st)
+	s.exportAll(p, st)
+}
+
+// importPref maps the session relationship to LOCAL_PREF (Gao-Rexford).
+func importPref(rel topology.Rel) int {
+	switch rel {
+	case topology.RelCustomer:
+		return PrefCustomer
+	case topology.RelPeer:
+		return PrefPeer
+	default:
+		return PrefProvider
+	}
+}
+
+// receive processes an UPDATE delivered on session sess.
+func (s *Speaker) receive(sess int, u Update) {
+	s.net.MessageCount++
+	st := s.state(u.Prefix)
+	damping := s.net.cfg.Damping
+	switch u.Type {
+	case Announce:
+		// Route-flap damping counts re-advertisements that change an
+		// existing route as flaps (RFC 2439 §4.4.2).
+		if damping != nil && st.in[sess] != nil && !sameWire(u.Route, st.in[sess]) {
+			s.flap(st, sess, damping)
+		}
+		r := u.Route
+		if r.ContainsASN(s.node.ASN) {
+			// Receiver-side loop detection: the NLRI replaces whatever this
+			// neighbor previously advertised, but the looping path is not
+			// usable, so the net effect is a withdrawal of the old route.
+			st.in[sess] = nil
+		} else {
+			r.LocalPref = importPref(s.node.Adj[sess].Rel)
+			r.learnedFrom = sess
+			st.in[sess] = r
+		}
+	case Withdraw:
+		if st.in[sess] == nil {
+			return
+		}
+		if damping != nil {
+			s.flap(st, sess, damping)
+		}
+		st.in[sess] = nil
+	}
+	s.recompute(u.Prefix, st)
+	s.exportAll(u.Prefix, st)
+}
+
+// better reports whether a should be preferred over b under the standard
+// BGP decision process. Both must be non-nil.
+func (s *Speaker) better(a, b *Route) bool {
+	if a.LocalPref != b.LocalPref {
+		return a.LocalPref > b.LocalPref
+	}
+	if len(a.Path) != len(b.Path) {
+		return len(a.Path) < len(b.Path)
+	}
+	// MED, compared only between routes from the same neighbor AS.
+	aAS, bAS := s.neighborAS(a), s.neighborAS(b)
+	if aAS == bAS && a.MED != b.MED {
+		return a.MED < b.MED
+	}
+	// Deterministic tiebreaks: lowest neighbor ASN, then lowest session.
+	if aAS != bAS {
+		return aAS < bAS
+	}
+	return a.learnedFrom < b.learnedFrom
+}
+
+func (s *Speaker) neighborAS(r *Route) topology.ASN {
+	if r.learnedFrom < 0 {
+		return s.node.ASN
+	}
+	return s.net.topo.Node(s.node.Adj[r.learnedFrom].To).ASN
+}
+
+// recompute reselects the best route for p and fires FIB/feed callbacks on
+// change.
+func (s *Speaker) recompute(p netip.Prefix, st *prefixState) {
+	var best *Route
+	if st.origin != nil {
+		// Locally originated routes always win (empty AS path, maximal
+		// preference — the analogue of administrative weight).
+		best = &Route{
+			Prefix:      p,
+			LocalPref:   1 << 20,
+			MED:         st.origin.MED,
+			OriginNode:  s.node.ID,
+			learnedFrom: -1,
+		}
+	}
+	damping := s.net.cfg.Damping
+	for sess, r := range st.in {
+		if r == nil {
+			continue
+		}
+		if damping != nil && s.dampSuppressed(st, sess, damping) {
+			continue
+		}
+		if best == nil || s.better(r, best) {
+			best = r
+		}
+	}
+	if routesEquivalent(best, st.best) {
+		return
+	}
+	st.best = best
+	for _, fn := range s.net.onBest {
+		fn(s.node.ID, p, best)
+	}
+	s.notifyFeeds(p, best)
+}
+
+// routesEquivalent compares loc-RIB entries including the next hop.
+func routesEquivalent(a, b *Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.learnedFrom == b.learnedFrom && a.LocalPref == b.LocalPref && sameWire(a, b)
+}
+
+func (s *Speaker) notifyFeeds(p netip.Prefix, best *Route) {
+	if len(s.feeds) == 0 {
+		return
+	}
+	var u Update
+	if best == nil {
+		u = Update{Type: Withdraw, Prefix: p}
+	} else {
+		u = Update{Type: Announce, Prefix: p, Route: best.Clone()}
+	}
+	// Collector sessions see the update after a processing delay, like any
+	// other neighbor, but in sending order (the session is TCP).
+	at := s.net.sim.Now() + s.net.sim.Jitter(s.net.cfg.ProcMin, s.net.cfg.ProcMax)
+	if at <= s.lastFeedDeliver {
+		at = s.lastFeedDeliver + 1e-6
+	}
+	s.lastFeedDeliver = at
+	peer := s.node.ID
+	feeds := s.feeds
+	s.net.sim.At(at, func() {
+		for _, fn := range feeds {
+			fn(s.net.sim.Now(), peer, u)
+		}
+	})
+}
+
+// exportAll reconsiders what should be advertised to every session.
+func (s *Speaker) exportAll(p netip.Prefix, st *prefixState) {
+	for sess := range s.node.Adj {
+		s.export(p, st, sess)
+	}
+}
+
+// desiredExport computes the route that should currently be on the wire
+// toward session sess for prefix p, or nil if none.
+func (s *Speaker) desiredExport(p netip.Prefix, st *prefixState, sess int) *Route {
+	best := st.best
+	if best == nil {
+		return nil
+	}
+	adj := s.node.Adj[sess]
+	neighbor := s.net.topo.Node(adj.To)
+
+	if best.learnedFrom == -1 {
+		// Locally originated: apply the origination policy.
+		pol := st.origin
+		prepend := pol.Prepend
+		if np, ok := pol.PerNeighbor[adj.To]; ok {
+			if !np.Export {
+				return nil
+			}
+			prepend = np.Prepend
+		}
+		path := make([]topology.ASN, 1+prepend)
+		for i := range path {
+			path[i] = s.node.ASN
+		}
+		return &Route{
+			Prefix: p, Path: path, MED: pol.MED, OriginNode: s.node.ID,
+			Communities: slices.Clone(pol.Communities),
+		}
+	}
+
+	// Transit route. Split horizon: never send a route back over the
+	// session it was learned from.
+	if best.learnedFrom == sess {
+		return nil
+	}
+	// Well-known communities (RFC 1997): NO_ADVERTISE stops the route
+	// here; NO_EXPORT confines it to the AS that received it (every
+	// speaker is its own AS at this granularity, so both stop export).
+	if best.HasCommunity(CommunityNoAdvertise) || best.HasCommunity(CommunityNoExport) {
+		return nil
+	}
+	// Gao-Rexford export: routes learned from peers or providers are only
+	// exported to customers.
+	learnedRel := s.node.Adj[best.learnedFrom].Rel
+	if learnedRel != topology.RelCustomer && adj.Rel != topology.RelCustomer {
+		return nil
+	}
+	// Sender-side loop avoidance: the neighbor would reject a path
+	// containing its own ASN.
+	if best.ContainsASN(neighbor.ASN) {
+		return nil
+	}
+	path := make([]topology.ASN, 0, len(best.Path)+1)
+	path = append(path, s.node.ASN)
+	path = append(path, best.Path...)
+	return &Route{
+		Prefix: p, Path: path, MED: 0, OriginNode: best.OriginNode,
+		Communities: slices.Clone(best.Communities),
+	}
+}
+
+// export transmits the desired state toward session sess, honoring MRAI for
+// advertisements. Withdrawals are sent immediately.
+func (s *Speaker) export(p netip.Prefix, st *prefixState, sess int) {
+	desired := s.desiredExport(p, st, sess)
+	if sameWire(desired, st.out[sess]) {
+		return
+	}
+	now := s.net.sim.Now()
+	if desired == nil && !s.net.cfg.PaceWithdrawals {
+		st.out[sess] = nil
+		s.send(sess, Update{Type: Withdraw, Prefix: p})
+		return
+	}
+	if now >= st.nextAllowed[sess] {
+		st.nextAllowed[sess] = now + s.mraiInterval()
+		st.out[sess] = desired
+		if desired == nil {
+			s.send(sess, Update{Type: Withdraw, Prefix: p})
+		} else {
+			s.send(sess, Update{Type: Announce, Prefix: p, Route: desired})
+		}
+		return
+	}
+	if !st.pending[sess] {
+		st.pending[sess] = true
+		s.net.sim.At(st.nextAllowed[sess], func() {
+			st.pending[sess] = false
+			s.export(p, st, sess)
+		})
+	}
+}
+
+func (s *Speaker) mraiInterval() netsim.Seconds {
+	cfg := s.net.cfg
+	if cfg.MRAI <= 0 {
+		return 0
+	}
+	j := cfg.MRAIJitter
+	return cfg.MRAI * (1 + s.net.sim.Jitter(-j, j))
+}
+
+// send delivers an update to the neighbor on session sess after link and
+// processing delay.
+func (s *Speaker) send(sess int, u Update) {
+	adj := s.node.Adj[sess]
+	peer := s.net.speakers[adj.To]
+	rev := s.reverse[sess]
+	if rev < 0 {
+		return // asymmetric link; Validate prevents this
+	}
+	if u.Route != nil {
+		u.Route = u.Route.Clone()
+	}
+	delay := adj.Delay + s.net.sim.Jitter(s.net.cfg.ProcMin, s.net.cfg.ProcMax)
+	at := s.net.sim.Now() + delay
+	// Preserve TCP's in-order delivery on the session.
+	if at <= s.lastDeliver[sess] {
+		at = s.lastDeliver[sess] + 1e-6
+	}
+	s.lastDeliver[sess] = at
+	s.net.sim.At(at, func() {
+		peer.receive(rev, u)
+	})
+}

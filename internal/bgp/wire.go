@@ -1,0 +1,411 @@
+package bgp
+
+// BGP-4 wire format (RFC 4271, with RFC 6793 four-octet AS numbers in
+// AS_PATH). The simulator exchanges in-memory Update values for speed; the
+// wire codec exists so route-collector archives can be persisted in the
+// standard MRT container (see mrt.go) and inspected with familiar tooling
+// conventions (cmd/bgpdump).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"bestofboth/internal/topology"
+)
+
+// Message types (RFC 4271 §4.1).
+const (
+	MsgOpen         = 1
+	MsgUpdate       = 2
+	MsgNotification = 3
+	MsgKeepalive    = 4
+)
+
+// Path attribute type codes (RFC 4271 §5).
+const (
+	AttrOrigin    = 1
+	AttrASPath    = 2
+	AttrNextHop   = 3
+	AttrMED       = 4
+	AttrLocalPref = 5
+	AttrCommunity = 8 // RFC 1997
+)
+
+// AS_PATH segment types.
+const (
+	asSet      = 1
+	asSequence = 2
+)
+
+// Attribute flag bits.
+const (
+	flagOptional   = 0x80
+	flagTransitive = 0x40
+	flagExtLen     = 0x10
+)
+
+// ErrBadMessage reports a malformed BGP message.
+var ErrBadMessage = errors.New("bgp: malformed message")
+
+// markerLen is the length of the all-ones marker preceding every message.
+const markerLen = 16
+
+// maxMessage is the largest BGP message (RFC 4271 §4.1).
+const maxMessage = 4096
+
+// WireUpdate is the decoded form of a BGP UPDATE message as used by the
+// archive: one announced or withdrawn prefix with its path attributes.
+// (The simulator emits single-prefix updates; the decoder also accepts
+// multi-prefix messages and returns each prefix separately via
+// DecodeUpdateAll.)
+type WireUpdate struct {
+	Withdrawn []netip.Prefix
+	NLRI      []netip.Prefix
+	ASPath    []topology.ASN
+	NextHop   netip.Addr
+	MED       uint32
+	LocalPref uint32
+	HasMED    bool
+	HasLP     bool
+	Origin    uint8
+	Community []uint32
+}
+
+// appendHeader appends the 19-byte BGP message header with the length
+// patched afterwards by finishMessage.
+func appendHeader(buf []byte, msgType byte) []byte {
+	for i := 0; i < markerLen; i++ {
+		buf = append(buf, 0xFF)
+	}
+	buf = append(buf, 0, 0, msgType) // length placeholder
+	return buf
+}
+
+func finishMessage(buf []byte) ([]byte, error) {
+	if len(buf) > maxMessage {
+		return nil, fmt.Errorf("%w: message length %d exceeds %d", ErrBadMessage, len(buf), maxMessage)
+	}
+	binary.BigEndian.PutUint16(buf[markerLen:], uint16(len(buf)))
+	return buf, nil
+}
+
+// appendPrefix appends an NLRI-encoded prefix (length byte + minimal
+// octets).
+func appendPrefix(buf []byte, p netip.Prefix) ([]byte, error) {
+	if !p.Addr().Is4() {
+		return nil, fmt.Errorf("%w: non-IPv4 prefix %v", ErrBadMessage, p)
+	}
+	bits := p.Bits()
+	buf = append(buf, byte(bits))
+	a := p.Masked().Addr().As4()
+	buf = append(buf, a[:(bits+7)/8]...)
+	return buf, nil
+}
+
+func parsePrefix(buf []byte) (netip.Prefix, int, error) {
+	if len(buf) < 1 {
+		return netip.Prefix{}, 0, ErrBadMessage
+	}
+	bits := int(buf[0])
+	if bits > 32 {
+		return netip.Prefix{}, 0, fmt.Errorf("%w: prefix length %d", ErrBadMessage, bits)
+	}
+	n := (bits + 7) / 8
+	if len(buf) < 1+n {
+		return netip.Prefix{}, 0, ErrBadMessage
+	}
+	var a [4]byte
+	copy(a[:], buf[1:1+n])
+	return netip.PrefixFrom(netip.AddrFrom4(a), bits).Masked(), 1 + n, nil
+}
+
+// EncodeUpdate serializes a WireUpdate into a BGP UPDATE message.
+func EncodeUpdate(u *WireUpdate) ([]byte, error) {
+	buf := appendHeader(nil, MsgUpdate)
+
+	// Withdrawn routes.
+	wStart := len(buf)
+	buf = append(buf, 0, 0)
+	for _, p := range u.Withdrawn {
+		var err error
+		if buf, err = appendPrefix(buf, p); err != nil {
+			return nil, err
+		}
+	}
+	binary.BigEndian.PutUint16(buf[wStart:], uint16(len(buf)-wStart-2))
+
+	// Path attributes (only present when announcing).
+	aStart := len(buf)
+	buf = append(buf, 0, 0)
+	if len(u.NLRI) > 0 {
+		buf = AppendPathAttributes(buf, u)
+	}
+	binary.BigEndian.PutUint16(buf[aStart:], uint16(len(buf)-aStart-2))
+
+	for _, p := range u.NLRI {
+		var err error
+		if buf, err = appendPrefix(buf, p); err != nil {
+			return nil, err
+		}
+	}
+	return finishMessage(buf)
+}
+
+func appendAttr(buf []byte, flags, code byte, val []byte) []byte {
+	if len(val) > 255 {
+		flags |= flagExtLen
+		buf = append(buf, flags, code)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(val)))
+	} else {
+		buf = append(buf, flags, code, byte(len(val)))
+	}
+	return append(buf, val...)
+}
+
+// AppendPathAttributes appends the RFC 4271 path attributes of u to buf
+// (shared by UPDATE encoding and MRT TABLE_DUMP_V2 RIB entries).
+func AppendPathAttributes(buf []byte, u *WireUpdate) []byte {
+	buf = appendAttr(buf, flagTransitive, AttrOrigin, []byte{u.Origin})
+
+	// AS_PATH: one AS_SEQUENCE segment of 4-octet ASNs.
+	seg := make([]byte, 0, 2+4*len(u.ASPath))
+	seg = append(seg, asSequence, byte(len(u.ASPath)))
+	for _, a := range u.ASPath {
+		seg = binary.BigEndian.AppendUint32(seg, uint32(a))
+	}
+	buf = appendAttr(buf, flagTransitive, AttrASPath, seg)
+
+	nh := u.NextHop
+	if !nh.Is4() {
+		nh = netip.AddrFrom4([4]byte{0, 0, 0, 0})
+	}
+	a4 := nh.As4()
+	buf = appendAttr(buf, flagTransitive, AttrNextHop, a4[:])
+
+	if u.HasMED {
+		buf = appendAttr(buf, flagOptional, AttrMED, binary.BigEndian.AppendUint32(nil, u.MED))
+	}
+	if u.HasLP {
+		buf = appendAttr(buf, flagTransitive, AttrLocalPref, binary.BigEndian.AppendUint32(nil, u.LocalPref))
+	}
+	if len(u.Community) > 0 {
+		cs := make([]byte, 0, 4*len(u.Community))
+		for _, c := range u.Community {
+			cs = binary.BigEndian.AppendUint32(cs, c)
+		}
+		buf = appendAttr(buf, flagOptional|flagTransitive, AttrCommunity, cs)
+	}
+	return buf
+}
+
+// ParsePathAttributes decodes a path-attribute block into u.
+func ParsePathAttributes(attrs []byte, u *WireUpdate) error {
+	for len(attrs) > 0 {
+		if len(attrs) < 3 {
+			return ErrBadMessage
+		}
+		flags, code := attrs[0], attrs[1]
+		var vLen, hdr int
+		if flags&flagExtLen != 0 {
+			if len(attrs) < 4 {
+				return ErrBadMessage
+			}
+			vLen = int(binary.BigEndian.Uint16(attrs[2:]))
+			hdr = 4
+		} else {
+			vLen = int(attrs[2])
+			hdr = 3
+		}
+		if len(attrs) < hdr+vLen {
+			return ErrBadMessage
+		}
+		val := attrs[hdr : hdr+vLen]
+		attrs = attrs[hdr+vLen:]
+		if err := applyAttr(u, code, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyAttr interprets one decoded attribute.
+func applyAttr(u *WireUpdate, code byte, val []byte) error {
+	vLen := len(val)
+	switch code {
+	case AttrOrigin:
+		if vLen != 1 {
+			return fmt.Errorf("%w: ORIGIN length %d", ErrBadMessage, vLen)
+		}
+		u.Origin = val[0]
+	case AttrASPath:
+		for len(val) > 0 {
+			if len(val) < 2 {
+				return ErrBadMessage
+			}
+			segType, n := val[0], int(val[1])
+			if len(val) < 2+4*n {
+				return ErrBadMessage
+			}
+			if segType != asSequence && segType != asSet {
+				return fmt.Errorf("%w: AS_PATH segment type %d", ErrBadMessage, segType)
+			}
+			for i := 0; i < n; i++ {
+				u.ASPath = append(u.ASPath, topology.ASN(binary.BigEndian.Uint32(val[2+4*i:])))
+			}
+			val = val[2+4*n:]
+		}
+	case AttrNextHop:
+		if vLen != 4 {
+			return fmt.Errorf("%w: NEXT_HOP length %d", ErrBadMessage, vLen)
+		}
+		u.NextHop = netip.AddrFrom4([4]byte(val))
+	case AttrMED:
+		if vLen != 4 {
+			return fmt.Errorf("%w: MED length %d", ErrBadMessage, vLen)
+		}
+		u.MED = binary.BigEndian.Uint32(val)
+		u.HasMED = true
+	case AttrLocalPref:
+		if vLen != 4 {
+			return fmt.Errorf("%w: LOCAL_PREF length %d", ErrBadMessage, vLen)
+		}
+		u.LocalPref = binary.BigEndian.Uint32(val)
+		u.HasLP = true
+	case AttrCommunity:
+		if vLen%4 != 0 {
+			return fmt.Errorf("%w: COMMUNITY length %d", ErrBadMessage, vLen)
+		}
+		for i := 0; i < vLen; i += 4 {
+			u.Community = append(u.Community, binary.BigEndian.Uint32(val[i:]))
+		}
+	default:
+		// Unknown attributes are skipped (transit behavior).
+	}
+	return nil
+}
+
+// DecodeUpdate parses a BGP UPDATE message.
+func DecodeUpdate(msg []byte) (*WireUpdate, error) {
+	typ, body, err := checkHeader(msg)
+	if err != nil {
+		return nil, err
+	}
+	if typ != MsgUpdate {
+		return nil, fmt.Errorf("%w: type %d is not UPDATE", ErrBadMessage, typ)
+	}
+	u := &WireUpdate{}
+
+	if len(body) < 2 {
+		return nil, ErrBadMessage
+	}
+	wLen := int(binary.BigEndian.Uint16(body))
+	body = body[2:]
+	if len(body) < wLen {
+		return nil, ErrBadMessage
+	}
+	wr := body[:wLen]
+	body = body[wLen:]
+	for len(wr) > 0 {
+		p, n, err := parsePrefix(wr)
+		if err != nil {
+			return nil, err
+		}
+		u.Withdrawn = append(u.Withdrawn, p)
+		wr = wr[n:]
+	}
+
+	if len(body) < 2 {
+		return nil, ErrBadMessage
+	}
+	aLen := int(binary.BigEndian.Uint16(body))
+	body = body[2:]
+	if len(body) < aLen {
+		return nil, ErrBadMessage
+	}
+	attrs := body[:aLen]
+	body = body[aLen:]
+	if err := ParsePathAttributes(attrs, u); err != nil {
+		return nil, err
+	}
+
+	for len(body) > 0 {
+		p, n, err := parsePrefix(body)
+		if err != nil {
+			return nil, err
+		}
+		u.NLRI = append(u.NLRI, p)
+		body = body[n:]
+	}
+	return u, nil
+}
+
+// checkHeader validates marker/length and returns the type and body.
+func checkHeader(msg []byte) (byte, []byte, error) {
+	if len(msg) < markerLen+3 {
+		return 0, nil, ErrBadMessage
+	}
+	for i := 0; i < markerLen; i++ {
+		if msg[i] != 0xFF {
+			return 0, nil, fmt.Errorf("%w: bad marker", ErrBadMessage)
+		}
+	}
+	length := int(binary.BigEndian.Uint16(msg[markerLen:]))
+	if length != len(msg) || length > maxMessage {
+		return 0, nil, fmt.Errorf("%w: header length %d, message %d", ErrBadMessage, length, len(msg))
+	}
+	return msg[markerLen+2], msg[markerLen+3:], nil
+}
+
+// EncodeKeepalive serializes a KEEPALIVE message.
+func EncodeKeepalive() []byte {
+	buf := appendHeader(nil, MsgKeepalive)
+	out, _ := finishMessage(buf)
+	return out
+}
+
+// MessageType returns the type of a wire message after header validation.
+func MessageType(msg []byte) (byte, error) {
+	typ, _, err := checkHeader(msg)
+	return typ, err
+}
+
+// ToWire converts a simulator Update into its wire form. localPref is
+// included for iBGP-style archive consumers; collectors record the peer's
+// post-decision view.
+func (u Update) ToWire(localPref int) (*WireUpdate, error) {
+	w := &WireUpdate{}
+	switch u.Type {
+	case Withdraw:
+		w.Withdrawn = []netip.Prefix{u.Prefix}
+	case Announce:
+		if u.Route == nil {
+			return nil, fmt.Errorf("%w: announce without route", ErrBadMessage)
+		}
+		w.NLRI = []netip.Prefix{u.Prefix}
+		w.ASPath = u.Route.Path
+		w.Community = u.Route.Communities
+		w.MED = uint32(u.Route.MED)
+		w.HasMED = u.Route.MED != 0
+		if localPref > 0 {
+			w.LocalPref = uint32(localPref)
+			w.HasLP = true
+		}
+	default:
+		return nil, fmt.Errorf("%w: update type %d", ErrBadMessage, u.Type)
+	}
+	return w, nil
+}
+
+// AppendNLRIPrefix appends the NLRI encoding of p (length byte + minimal
+// octets). Exported for the MRT TABLE_DUMP_V2 writer.
+func AppendNLRIPrefix(buf []byte, p netip.Prefix) ([]byte, error) {
+	return appendPrefix(buf, p)
+}
+
+// ParseNLRIPrefix decodes one NLRI-encoded prefix, returning it and the
+// bytes consumed.
+func ParseNLRIPrefix(buf []byte) (netip.Prefix, int, error) {
+	return parsePrefix(buf)
+}

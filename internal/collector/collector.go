@@ -1,0 +1,230 @@
+// Package collector emulates public BGP route collectors (RIS, RouteViews):
+// receive-only sessions with a set of peer ASes, a timestamped update
+// archive, and the estimators the paper's Appendices A and B apply to
+// archived feeds — visibility time series, withdrawal/announcement onset
+// estimation from update bursts, per-peer convergence time, and per-peer
+// propagation delay.
+package collector
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"slices"
+	"sort"
+
+	"bestofboth/internal/bgp"
+	"bestofboth/internal/netsim"
+	"bestofboth/internal/topology"
+)
+
+// Record is one archived update as seen from one collector peer.
+type Record struct {
+	Time   float64
+	Peer   topology.NodeID
+	Prefix netip.Prefix
+	Type   bgp.UpdateType
+	Path   []topology.ASN
+}
+
+// Collector archives the update feeds of its peers.
+type Collector struct {
+	name    string
+	peers   []topology.NodeID
+	archive []Record
+}
+
+// New creates a collector with the given name (e.g. "rrc00").
+func New(name string) *Collector { return &Collector{name: name} }
+
+// Name returns the collector name.
+func (c *Collector) Name() string { return c.name }
+
+// Peers returns the attached peer nodes in attachment order.
+func (c *Collector) Peers() []topology.NodeID { return slices.Clone(c.peers) }
+
+// Attach opens receive-only sessions with the given peers on net.
+func (c *Collector) Attach(net *bgp.Network, peers ...topology.NodeID) error {
+	for _, p := range peers {
+		p := p
+		if err := net.AttachFeed(p, func(now netsim.Seconds, peer topology.NodeID, u bgp.Update) {
+			rec := Record{Time: now, Peer: peer, Prefix: u.Prefix, Type: u.Type}
+			if u.Route != nil {
+				rec.Path = u.Route.Path
+			}
+			c.archive = append(c.archive, rec)
+		}); err != nil {
+			return fmt.Errorf("collector %s: attaching peer %d: %w", c.name, p, err)
+		}
+		c.peers = append(c.peers, p)
+	}
+	return nil
+}
+
+// Records returns the full archive in arrival order.
+func (c *Collector) Records() []Record { return c.archive }
+
+// RecordsFor filters the archive to one prefix, in time order.
+func (c *Collector) RecordsFor(prefix netip.Prefix) []Record {
+	var out []Record
+	for _, r := range c.archive {
+		if r.Prefix == prefix {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Clear drops the archive (peers stay attached), so one collector can serve
+// multiple sequential experiments.
+func (c *Collector) Clear() { c.archive = nil }
+
+// Visibility returns the fraction of peers that have a route to prefix at
+// time t, replaying the archive. This mirrors the RIPE Routing History
+// visibility metric the paper uses to flag withdrawals (Appendix A).
+func (c *Collector) Visibility(prefix netip.Prefix, t float64) float64 {
+	if len(c.peers) == 0 {
+		return 0
+	}
+	state := make(map[topology.NodeID]bool, len(c.peers))
+	for _, r := range c.RecordsFor(prefix) {
+		if r.Time > t {
+			break
+		}
+		state[r.Peer] = r.Type == bgp.Announce
+	}
+	n := 0
+	for _, has := range state {
+		if has {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.peers))
+}
+
+// EstimateEventTime implements the paper's onset estimator: the event
+// (withdrawal or announcement) is estimated to have occurred at the first
+// time when at least minBurst updates of the given type are observed within
+// a window of windowSec seconds (the paper uses 5 updates in 20 s). It
+// returns ok=false if no such burst exists.
+func (c *Collector) EstimateEventTime(prefix netip.Prefix, typ bgp.UpdateType, minBurst int, windowSec float64) (float64, bool) {
+	var times []float64
+	for _, r := range c.RecordsFor(prefix) {
+		if r.Type == typ {
+			times = append(times, r.Time)
+		}
+	}
+	if len(times) < minBurst {
+		return 0, false
+	}
+	sort.Float64s(times)
+	for i := 0; i+minBurst-1 < len(times); i++ {
+		if times[i+minBurst-1]-times[i] <= windowSec {
+			return times[i], true
+		}
+	}
+	return 0, false
+}
+
+// ConvergenceTimes computes, per collector peer, the delay between
+// eventTime and the last update from that peer for the prefix within
+// [eventTime, eventTime+window] (the Appendix A per-⟨peer, withdrawal⟩
+// convergence metric; the paper uses a 1000 s window). Peers with no
+// updates in the window are omitted.
+func (c *Collector) ConvergenceTimes(prefix netip.Prefix, eventTime, window float64) map[topology.NodeID]float64 {
+	last := map[topology.NodeID]float64{}
+	for _, r := range c.RecordsFor(prefix) {
+		if r.Time < eventTime || r.Time > eventTime+window {
+			continue
+		}
+		if cur, ok := last[r.Peer]; !ok || r.Time > cur {
+			last[r.Peer] = r.Time
+		}
+	}
+	out := make(map[topology.NodeID]float64, len(last))
+	for p, t := range last {
+		out[p] = t - eventTime
+	}
+	return out
+}
+
+// PropagationTimes computes, per collector peer, the delay between
+// eventTime and the first announcement of the prefix seen from that peer
+// (the Appendix B per-⟨peer, announcement⟩ propagation metric). Peers that
+// never announce are omitted.
+func (c *Collector) PropagationTimes(prefix netip.Prefix, eventTime float64) map[topology.NodeID]float64 {
+	first := map[topology.NodeID]float64{}
+	for _, r := range c.RecordsFor(prefix) {
+		if r.Type != bgp.Announce || r.Time < eventTime {
+			continue
+		}
+		if cur, ok := first[r.Peer]; !ok || r.Time < cur {
+			first[r.Peer] = r.Time
+		}
+	}
+	out := make(map[topology.NodeID]float64, len(first))
+	for p, t := range first {
+		out[p] = t - eventTime
+	}
+	return out
+}
+
+// FullyWithdrawn reports whether at least frac of the peers that ever had a
+// route to prefix eventually withdrew it — the paper's check that a flagged
+// visibility drop is an actual withdrawal (Appendix A uses 90%).
+func (c *Collector) FullyWithdrawn(prefix netip.Prefix, frac float64) bool {
+	state := map[topology.NodeID]bool{}
+	ever := map[topology.NodeID]bool{}
+	for _, r := range c.RecordsFor(prefix) {
+		has := r.Type == bgp.Announce
+		state[r.Peer] = has
+		if has {
+			ever[r.Peer] = true
+		}
+	}
+	if len(ever) == 0 {
+		return false
+	}
+	withdrawn := 0
+	for p := range ever {
+		if !state[p] {
+			withdrawn++
+		}
+	}
+	return float64(withdrawn) >= frac*float64(len(ever))
+}
+
+// SelectPeers picks n collector peers from the topology, weighted toward
+// the well-connected networks that actually feed RIS and RouteViews:
+// tier-1s and transits first, then eyeballs. Selection is deterministic in
+// seed.
+func SelectPeers(topo *topology.Topology, n int, seed int64) []topology.NodeID {
+	r := rand.New(rand.NewSource(seed))
+	var core, edge []topology.NodeID
+	for _, node := range topo.Nodes {
+		switch node.Class {
+		case topology.ClassTier1, topology.ClassTransit, topology.ClassREN:
+			core = append(core, node.ID)
+		case topology.ClassEyeball:
+			edge = append(edge, node.ID)
+		}
+	}
+	r.Shuffle(len(core), func(i, j int) { core[i], core[j] = core[j], core[i] })
+	r.Shuffle(len(edge), func(i, j int) { edge[i], edge[j] = edge[j], edge[i] })
+	out := make([]topology.NodeID, 0, n)
+	// Roughly 3:1 core-to-edge mix.
+	wantCore := n * 3 / 4
+	for len(out) < wantCore && len(core) > 0 {
+		out = append(out, core[0])
+		core = core[1:]
+	}
+	for len(out) < n && len(edge) > 0 {
+		out = append(out, edge[0])
+		edge = edge[1:]
+	}
+	for len(out) < n && len(core) > 0 {
+		out = append(out, core[0])
+		core = core[1:]
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package collector
+
+// MRT export/import (RFC 6396 subset) for collector archives. Records are
+// written as BGP4MP_ET / BGP4MP_MESSAGE_AS4 entries carrying real RFC 4271
+// UPDATE messages, so archives round-trip through the standard container
+// used by RIS and RouteViews dumps and can be inspected with cmd/bgpdump.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/netip"
+
+	"bestofboth/internal/bgp"
+	"bestofboth/internal/topology"
+)
+
+// MRT constants (RFC 6396).
+const (
+	mrtTypeBGP4MPET  = 17 // BGP4MP with microsecond timestamps
+	mrtSubtypeMsgAS4 = 4  // BGP4MP_MESSAGE_AS4
+	mrtAFIIPv4       = 1
+	// CollectorASN is the AS number stamped as the local AS in dumps
+	// (12654 is the RIPE RIS routing beacon ASN).
+	CollectorASN = 12654
+)
+
+// collectorAddr is the local address stamped in dumps.
+var collectorAddr = netip.MustParseAddr("192.0.2.1")
+
+// PeerAddr synthesizes the stable dump address of a peer node.
+func PeerAddr(id topology.NodeID) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, byte(uint32(id) >> 8), byte(uint32(id)), 1})
+}
+
+// peerID inverts PeerAddr.
+func peerID(a netip.Addr) (topology.NodeID, bool) {
+	b := a.As4()
+	if b[0] != 10 || b[3] != 1 {
+		return 0, false
+	}
+	return topology.NodeID(uint32(b[1])<<8 | uint32(b[2])), true
+}
+
+// MRTEntry is one parsed dump record.
+type MRTEntry struct {
+	Time   float64 // seconds (with microsecond resolution)
+	PeerAS topology.ASN
+	PeerIP netip.Addr
+	Update *bgp.WireUpdate
+}
+
+// ErrBadMRT reports a malformed MRT stream.
+var ErrBadMRT = errors.New("collector: malformed MRT")
+
+// WriteMRT serializes the archive of prefix-filtered records (all records
+// when prefix is the zero value) as an MRT dump. The topology resolves
+// peer ASNs.
+func (c *Collector) WriteMRT(w io.Writer, topo *topology.Topology, prefix netip.Prefix) error {
+	bw := bufio.NewWriter(w)
+	recs := c.archive
+	if prefix.IsValid() {
+		recs = c.RecordsFor(prefix)
+	}
+	for _, r := range recs {
+		peer := topo.Node(r.Peer)
+		if peer == nil {
+			return fmt.Errorf("collector: record references unknown peer %d", r.Peer)
+		}
+		u := bgp.Update{Type: r.Type, Prefix: r.Prefix}
+		if r.Type == bgp.Announce {
+			u.Route = &bgp.Route{Prefix: r.Prefix, Path: r.Path}
+		}
+		wu, err := u.ToWire(0)
+		if err != nil {
+			return err
+		}
+		msg, err := bgp.EncodeUpdate(wu)
+		if err != nil {
+			return err
+		}
+		if err := writeMRTRecord(bw, r.Time, peer.ASN, PeerAddr(r.Peer), msg); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeMRTRecord(w io.Writer, t float64, peerAS topology.ASN, peerIP netip.Addr, msg []byte) error {
+	sec := uint32(t)
+	usec := uint32(math.Round((t - float64(sec)) * 1e6))
+	if usec >= 1e6 {
+		sec++
+		usec = 0
+	}
+	// BGP4MP_MESSAGE_AS4 body.
+	body := make([]byte, 0, 20+len(msg))
+	body = binary.BigEndian.AppendUint32(body, uint32(peerAS))
+	body = binary.BigEndian.AppendUint32(body, CollectorASN)
+	body = binary.BigEndian.AppendUint16(body, 0) // interface index
+	body = binary.BigEndian.AppendUint16(body, mrtAFIIPv4)
+	p4 := peerIP.As4()
+	body = append(body, p4[:]...)
+	l4 := collectorAddr.As4()
+	body = append(body, l4[:]...)
+	body = append(body, msg...)
+
+	hdr := make([]byte, 0, 16)
+	hdr = binary.BigEndian.AppendUint32(hdr, sec)
+	hdr = binary.BigEndian.AppendUint16(hdr, mrtTypeBGP4MPET)
+	hdr = binary.BigEndian.AppendUint16(hdr, mrtSubtypeMsgAS4)
+	// BGP4MP_ET: the length covers the microsecond field plus the body.
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(4+len(body)))
+	hdr = binary.BigEndian.AppendUint32(hdr, usec)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadMRT parses an MRT dump produced by WriteMRT (or any BGP4MP_ET /
+// BGP4MP_MESSAGE_AS4 IPv4 stream).
+func ReadMRT(r io.Reader) ([]MRTEntry, error) {
+	br := bufio.NewReader(r)
+	var out []MRTEntry
+	for {
+		hdr := make([]byte, 12)
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("%w: truncated header: %v", ErrBadMRT, err)
+		}
+		sec := binary.BigEndian.Uint32(hdr)
+		typ := binary.BigEndian.Uint16(hdr[4:])
+		sub := binary.BigEndian.Uint16(hdr[6:])
+		length := binary.BigEndian.Uint32(hdr[8:])
+		if length > 1<<20 {
+			return nil, fmt.Errorf("%w: record length %d", ErrBadMRT, length)
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, fmt.Errorf("%w: truncated body: %v", ErrBadMRT, err)
+		}
+		if typ != mrtTypeBGP4MPET || sub != mrtSubtypeMsgAS4 {
+			continue // skip record types we do not model
+		}
+		if len(body) < 4+20 {
+			return nil, fmt.Errorf("%w: BGP4MP_ET body too short", ErrBadMRT)
+		}
+		usec := binary.BigEndian.Uint32(body)
+		body = body[4:]
+		peerAS := binary.BigEndian.Uint32(body)
+		afi := binary.BigEndian.Uint16(body[10:])
+		if afi != mrtAFIIPv4 {
+			continue
+		}
+		peerIP := netip.AddrFrom4([4]byte(body[12:16]))
+		msg := body[20:]
+		wu, err := bgp.DecodeUpdate(msg)
+		if err != nil {
+			return nil, fmt.Errorf("%w: embedded BGP message: %v", ErrBadMRT, err)
+		}
+		out = append(out, MRTEntry{
+			Time:   float64(sec) + float64(usec)/1e6,
+			PeerAS: topology.ASN(peerAS),
+			PeerIP: peerIP,
+			Update: wu,
+		})
+	}
+}
+
+// EntriesToRecords converts parsed MRT entries back into archive records,
+// resolving peers via the synthesized dump addresses. Entries whose peer
+// cannot be resolved are skipped.
+func EntriesToRecords(entries []MRTEntry) []Record {
+	var out []Record
+	for _, e := range entries {
+		id, ok := peerID(e.PeerIP)
+		if !ok {
+			continue
+		}
+		for _, p := range e.Update.Withdrawn {
+			out = append(out, Record{Time: e.Time, Peer: id, Prefix: p, Type: bgp.Withdraw})
+		}
+		for _, p := range e.Update.NLRI {
+			out = append(out, Record{Time: e.Time, Peer: id, Prefix: p, Type: bgp.Announce, Path: e.Update.ASPath})
+		}
+	}
+	return out
+}

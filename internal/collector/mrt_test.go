@@ -1,0 +1,135 @@
+package collector
+
+import (
+	"bytes"
+	"math"
+	"net/netip"
+	"testing"
+
+	"bestofboth/internal/bgp"
+	"bestofboth/internal/topology"
+)
+
+func TestMRTRoundTrip(t *testing.T) {
+	sim, net, topo := testNet(t)
+	c := New("rrc06")
+	c.Attach(net, SelectPeers(topo, 8, 7)...)
+	site := topo.NodeByName("cdn-ams")
+	net.Originate(site.ID, prefix, nil)
+	sim.Run()
+	net.Withdraw(site.ID, prefix)
+	sim.Run()
+
+	orig := c.RecordsFor(prefix)
+	if len(orig) == 0 {
+		t.Fatal("no records to dump")
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteMRT(&buf, topo, prefix); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadMRT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := EntriesToRecords(entries)
+	if len(got) != len(orig) {
+		t.Fatalf("round trip %d records, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		o, g := orig[i], got[i]
+		if o.Peer != g.Peer || o.Prefix != g.Prefix || o.Type != g.Type {
+			t.Fatalf("record %d differs: %+v vs %+v", i, o, g)
+		}
+		if math.Abs(o.Time-g.Time) > 1e-5 {
+			t.Fatalf("record %d time %v vs %v", i, o.Time, g.Time)
+		}
+		if o.Type == bgp.Announce {
+			if len(o.Path) != len(g.Path) {
+				t.Fatalf("record %d path %v vs %v", i, o.Path, g.Path)
+			}
+			for j := range o.Path {
+				if o.Path[j] != g.Path[j] {
+					t.Fatalf("record %d path %v vs %v", i, o.Path, g.Path)
+				}
+			}
+		}
+		// Peer AS survives too.
+		if entries[i].PeerAS != topo.Node(o.Peer).ASN {
+			t.Fatalf("record %d peer AS %d, want %d", i, entries[i].PeerAS, topo.Node(o.Peer).ASN)
+		}
+	}
+}
+
+func TestMRTFullArchiveDump(t *testing.T) {
+	sim, net, topo := testNet(t)
+	c := New("rrc07")
+	c.Attach(net, SelectPeers(topo, 5, 8)...)
+	site := topo.NodeByName("cdn-bos")
+	p2 := netip.MustParsePrefix("184.164.245.0/24")
+	net.Originate(site.ID, prefix, nil)
+	net.Originate(site.ID, p2, nil)
+	sim.Run()
+
+	var buf bytes.Buffer
+	// Zero prefix: dump everything.
+	if err := c.WriteMRT(&buf, topo, netip.Prefix{}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadMRT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(c.Records()) {
+		t.Fatalf("dumped %d entries, archive has %d", len(entries), len(c.Records()))
+	}
+	seen := map[netip.Prefix]bool{}
+	for _, e := range entries {
+		for _, p := range e.Update.NLRI {
+			seen[p] = true
+		}
+	}
+	if !seen[prefix] || !seen[p2] {
+		t.Fatalf("dump missing prefixes: %v", seen)
+	}
+}
+
+func TestReadMRTRejectsGarbage(t *testing.T) {
+	if _, err := ReadMRT(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// Valid header claiming a huge record.
+	hdr := make([]byte, 12)
+	hdr[8] = 0xFF
+	hdr[9] = 0xFF
+	hdr[10] = 0xFF
+	if _, err := ReadMRT(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+func TestReadMRTSkipsUnknownTypes(t *testing.T) {
+	// A record with an unmodeled type must be skipped, not fail.
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 1, 0, 13 /* TABLE_DUMP_V2 */, 0, 1, 0, 0, 0, 2, 0xAA, 0xBB})
+	entries, err := ReadMRT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("unknown type produced entries: %v", entries)
+	}
+}
+
+func TestPeerAddrRoundTrip(t *testing.T) {
+	for _, id := range []topology.NodeID{0, 1, 255, 256, 4095} {
+		got, ok := peerID(PeerAddr(id))
+		if !ok || got != id {
+			t.Fatalf("PeerAddr round trip failed for %d: %d, %v", id, got, ok)
+		}
+	}
+	if _, ok := peerID(netip.MustParseAddr("192.0.2.1")); ok {
+		t.Fatal("non-peer address resolved")
+	}
+}

@@ -1,0 +1,252 @@
+package collector
+
+// MRT TABLE_DUMP_V2 RIB snapshots (RFC 6396 §4.3): a PEER_INDEX_TABLE
+// record followed by one RIB_IPV4_UNICAST record per prefix, each entry
+// carrying real RFC 4271 path attributes. This is the format RIS and
+// RouteViews publish RIB dumps in; the Appendix A visibility methodology
+// conceptually runs over such snapshots.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+
+	"bestofboth/internal/bgp"
+	"bestofboth/internal/topology"
+)
+
+const (
+	mrtTypeTableDumpV2   = 13
+	mrtSubtypePeerIndex  = 1
+	mrtSubtypeRIBIPv4Uni = 2
+	peerTypeIPv4AS4      = 0x02 // 4-octet AS, IPv4 address
+)
+
+// RIBEntry is one (peer, route) pair of a snapshot.
+type RIBEntry struct {
+	Peer   topology.NodeID
+	PeerAS topology.ASN
+	Prefix netip.Prefix
+	Path   []topology.ASN
+}
+
+// SnapshotRIB reconstructs each peer's routes at virtual time at by
+// replaying the archive, like building a RIB dump from an update stream.
+func (c *Collector) SnapshotRIB(at float64) []RIBEntry {
+	type key struct {
+		peer   topology.NodeID
+		prefix netip.Prefix
+	}
+	state := map[key][]topology.ASN{}
+	for _, r := range c.archive {
+		if r.Time > at {
+			break
+		}
+		k := key{r.Peer, r.Prefix}
+		if r.Type == bgp.Announce {
+			state[k] = r.Path
+		} else {
+			delete(state, k)
+		}
+	}
+	out := make([]RIBEntry, 0, len(state))
+	for k, path := range state {
+		out = append(out, RIBEntry{Peer: k.peer, Prefix: k.prefix, Path: path})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if ci := out[i].Prefix.Addr().Compare(out[j].Prefix.Addr()); ci != 0 {
+			return ci < 0
+		}
+		if out[i].Prefix.Bits() != out[j].Prefix.Bits() {
+			return out[i].Prefix.Bits() < out[j].Prefix.Bits()
+		}
+		return out[i].Peer < out[j].Peer
+	})
+	return out
+}
+
+// WriteRIBDump serializes the collector's RIB state at virtual time at as
+// a TABLE_DUMP_V2 MRT stream.
+func (c *Collector) WriteRIBDump(w io.Writer, topo *topology.Topology, at float64) error {
+	bw := bufio.NewWriter(w)
+	entries := c.SnapshotRIB(at)
+
+	// Peer index: the collector's attached peers in stable order.
+	peerIdx := map[topology.NodeID]uint16{}
+	var body []byte
+	body = binary.BigEndian.AppendUint32(body, 0xC0000201) // collector BGP ID
+	body = binary.BigEndian.AppendUint16(body, 0)          // empty view name
+	body = binary.BigEndian.AppendUint16(body, uint16(len(c.peers)))
+	for i, p := range c.peers {
+		peerIdx[p] = uint16(i)
+		node := topo.Node(p)
+		if node == nil {
+			return fmt.Errorf("collector: unknown peer %d in index", p)
+		}
+		body = append(body, peerTypeIPv4AS4)
+		body = binary.BigEndian.AppendUint32(body, uint32(p)+1) // BGP ID
+		a := PeerAddr(p).As4()
+		body = append(body, a[:]...)
+		body = binary.BigEndian.AppendUint32(body, uint32(node.ASN))
+	}
+	if err := writeMRTHeader(bw, at, mrtTypeTableDumpV2, mrtSubtypePeerIndex, body); err != nil {
+		return err
+	}
+
+	// Group entries per prefix.
+	byPrefix := map[netip.Prefix][]RIBEntry{}
+	var order []netip.Prefix
+	for _, e := range entries {
+		if _, seen := byPrefix[e.Prefix]; !seen {
+			order = append(order, e.Prefix)
+		}
+		byPrefix[e.Prefix] = append(byPrefix[e.Prefix], e)
+	}
+	seq := uint32(0)
+	for _, p := range order {
+		es := byPrefix[p]
+		var rec []byte
+		rec = binary.BigEndian.AppendUint32(rec, seq)
+		seq++
+		var err error
+		rec, err = bgp.AppendNLRIPrefix(rec, p)
+		if err != nil {
+			return err
+		}
+		rec = binary.BigEndian.AppendUint16(rec, uint16(len(es)))
+		for _, e := range es {
+			idx, ok := peerIdx[e.Peer]
+			if !ok {
+				return fmt.Errorf("collector: RIB entry for non-indexed peer %d", e.Peer)
+			}
+			rec = binary.BigEndian.AppendUint16(rec, idx)
+			rec = binary.BigEndian.AppendUint32(rec, uint32(at)) // originated time
+			attrs := bgp.AppendPathAttributes(nil, &bgp.WireUpdate{
+				ASPath:  e.Path,
+				NextHop: PeerAddr(e.Peer),
+			})
+			rec = binary.BigEndian.AppendUint16(rec, uint16(len(attrs)))
+			rec = append(rec, attrs...)
+		}
+		if err := writeMRTHeader(bw, at, mrtTypeTableDumpV2, mrtSubtypeRIBIPv4Uni, rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// writeMRTHeader writes a plain (non-ET) MRT record.
+func writeMRTHeader(w io.Writer, t float64, typ, sub uint16, body []byte) error {
+	hdr := make([]byte, 0, 12)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(t))
+	hdr = binary.BigEndian.AppendUint16(hdr, typ)
+	hdr = binary.BigEndian.AppendUint16(hdr, sub)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(body)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadRIBDump parses a TABLE_DUMP_V2 stream written by WriteRIBDump.
+func ReadRIBDump(r io.Reader) ([]RIBEntry, error) {
+	br := bufio.NewReader(r)
+	type peerInfo struct {
+		ip netip.Addr
+		as topology.ASN
+	}
+	var peers []peerInfo
+	var out []RIBEntry
+	for {
+		hdr := make([]byte, 12)
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("%w: truncated header: %v", ErrBadMRT, err)
+		}
+		typ := binary.BigEndian.Uint16(hdr[4:])
+		sub := binary.BigEndian.Uint16(hdr[6:])
+		length := binary.BigEndian.Uint32(hdr[8:])
+		if length > 1<<22 {
+			return nil, fmt.Errorf("%w: record length %d", ErrBadMRT, length)
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, fmt.Errorf("%w: truncated body: %v", ErrBadMRT, err)
+		}
+		if typ != mrtTypeTableDumpV2 {
+			continue
+		}
+		switch sub {
+		case mrtSubtypePeerIndex:
+			if len(body) < 8 {
+				return nil, fmt.Errorf("%w: short peer index", ErrBadMRT)
+			}
+			viewLen := int(binary.BigEndian.Uint16(body[4:]))
+			pos := 6 + viewLen
+			if len(body) < pos+2 {
+				return nil, fmt.Errorf("%w: short peer index", ErrBadMRT)
+			}
+			n := int(binary.BigEndian.Uint16(body[pos:]))
+			pos += 2
+			peers = peers[:0]
+			for i := 0; i < n; i++ {
+				if len(body) < pos+13 {
+					return nil, fmt.Errorf("%w: short peer entry", ErrBadMRT)
+				}
+				pt := body[pos]
+				if pt != peerTypeIPv4AS4 {
+					return nil, fmt.Errorf("%w: unsupported peer type %#x", ErrBadMRT, pt)
+				}
+				ip := netip.AddrFrom4([4]byte(body[pos+5 : pos+9]))
+				as := topology.ASN(binary.BigEndian.Uint32(body[pos+9:]))
+				peers = append(peers, peerInfo{ip: ip, as: as})
+				pos += 13
+			}
+		case mrtSubtypeRIBIPv4Uni:
+			if len(body) < 4 {
+				return nil, fmt.Errorf("%w: short RIB record", ErrBadMRT)
+			}
+			pos := 4
+			prefix, n, err := bgp.ParseNLRIPrefix(body[pos:])
+			if err != nil {
+				return nil, fmt.Errorf("%w: RIB prefix: %v", ErrBadMRT, err)
+			}
+			pos += n
+			if len(body) < pos+2 {
+				return nil, fmt.Errorf("%w: short RIB record", ErrBadMRT)
+			}
+			count := int(binary.BigEndian.Uint16(body[pos:]))
+			pos += 2
+			for i := 0; i < count; i++ {
+				if len(body) < pos+8 {
+					return nil, fmt.Errorf("%w: short RIB entry", ErrBadMRT)
+				}
+				idx := int(binary.BigEndian.Uint16(body[pos:]))
+				attrLen := int(binary.BigEndian.Uint16(body[pos+6:]))
+				pos += 8
+				if len(body) < pos+attrLen {
+					return nil, fmt.Errorf("%w: short RIB attributes", ErrBadMRT)
+				}
+				var wu bgp.WireUpdate
+				if err := bgp.ParsePathAttributes(body[pos:pos+attrLen], &wu); err != nil {
+					return nil, fmt.Errorf("%w: RIB attributes: %v", ErrBadMRT, err)
+				}
+				pos += attrLen
+				if idx >= len(peers) {
+					return nil, fmt.Errorf("%w: peer index %d out of range", ErrBadMRT, idx)
+				}
+				e := RIBEntry{PeerAS: peers[idx].as, Prefix: prefix, Path: wu.ASPath}
+				if id, ok := peerID(peers[idx].ip); ok {
+					e.Peer = id
+				}
+				out = append(out, e)
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package collector
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+
+	"bestofboth/internal/bgp"
+)
+
+func TestSnapshotRIBReplaysArchive(t *testing.T) {
+	sim, net, topo := testNet(t)
+	c := New("rrc10")
+	c.Attach(net, SelectPeers(topo, 10, 11)...)
+	site := topo.NodeByName("cdn-ams")
+	net.Originate(site.ID, prefix, nil)
+	sim.Run()
+	tAnnounced := sim.Now()
+	net.Withdraw(site.ID, prefix)
+	sim.Run()
+
+	// Snapshot while announced: most peers hold a route.
+	during := c.SnapshotRIB(tAnnounced)
+	if len(during) < 8 {
+		t.Fatalf("snapshot during announcement has %d entries", len(during))
+	}
+	for _, e := range during {
+		if e.Prefix != prefix || len(e.Path) == 0 {
+			t.Fatalf("bad entry %+v", e)
+		}
+	}
+	// Snapshot after withdrawal: empty.
+	if after := c.SnapshotRIB(sim.Now()); len(after) != 0 {
+		t.Fatalf("snapshot after withdrawal has %d entries", len(after))
+	}
+	// Snapshot before anything: empty.
+	if before := c.SnapshotRIB(0); len(before) != 0 {
+		t.Fatalf("snapshot at t=0 has %d entries", len(before))
+	}
+}
+
+func TestRIBDumpRoundTrip(t *testing.T) {
+	sim, net, topo := testNet(t)
+	c := New("rrc11")
+	c.Attach(net, SelectPeers(topo, 12, 12)...)
+	site := topo.NodeByName("cdn-slc")
+	p2 := netip.MustParsePrefix("184.164.246.0/24")
+	net.Originate(site.ID, prefix, nil)
+	net.Originate(site.ID, p2, nil)
+	sim.Run()
+
+	at := sim.Now()
+	want := c.SnapshotRIB(at)
+	var buf bytes.Buffer
+	if err := c.WriteRIBDump(&buf, topo, at); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRIBDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round trip %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Peer != g.Peer || w.Prefix != g.Prefix {
+			t.Fatalf("entry %d: %+v vs %+v", i, w, g)
+		}
+		if len(w.Path) != len(g.Path) {
+			t.Fatalf("entry %d path: %v vs %v", i, w.Path, g.Path)
+		}
+		for j := range w.Path {
+			if w.Path[j] != g.Path[j] {
+				t.Fatalf("entry %d path: %v vs %v", i, w.Path, g.Path)
+			}
+		}
+		if g.PeerAS != topo.Node(w.Peer).ASN {
+			t.Fatalf("entry %d peer AS %d, want %d", i, g.PeerAS, topo.Node(w.Peer).ASN)
+		}
+	}
+	// Both prefixes present.
+	seen := map[netip.Prefix]bool{}
+	for _, e := range got {
+		seen[e.Prefix] = true
+	}
+	if !seen[prefix] || !seen[p2] {
+		t.Fatalf("dump lost prefixes: %v", seen)
+	}
+}
+
+func TestRIBDumpVisibilityAgreement(t *testing.T) {
+	// The visibility metric computed from the snapshot must agree with the
+	// archive-replay Visibility() — the Appendix A methodology over RIB
+	// dumps vs. update streams.
+	sim, net, topo := testNet(t)
+	c := New("rrc12")
+	peers := SelectPeers(topo, 15, 13)
+	c.Attach(net, peers...)
+	site := topo.NodeByName("cdn-atl")
+	net.Originate(site.ID, prefix, nil)
+	sim.Run()
+	at := sim.Now()
+
+	snap := c.SnapshotRIB(at)
+	withRoute := map[bool]int{}
+	for _, e := range snap {
+		if e.Prefix == prefix {
+			withRoute[true]++
+		}
+	}
+	snapVis := float64(withRoute[true]) / float64(len(peers))
+	if v := c.Visibility(prefix, at); v != snapVis {
+		t.Fatalf("visibility mismatch: replay %v vs snapshot %v", v, snapVis)
+	}
+}
+
+func TestReadRIBDumpRejectsGarbage(t *testing.T) {
+	if _, err := ReadRIBDump(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// RIB record referencing a peer index with no index table.
+	var buf bytes.Buffer
+	body := []byte{0, 0, 0, 1, 24, 184, 164, 244, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0}
+	writeMRTHeader(&buf, 1, mrtTypeTableDumpV2, mrtSubtypeRIBIPv4Uni, body)
+	if _, err := ReadRIBDump(&buf); err == nil {
+		t.Fatal("out-of-range peer index accepted")
+	}
+}
+
+func TestSnapshotPathsSurviveWire(t *testing.T) {
+	// Attribute codec reuse: a snapshot path with prepending must survive
+	// the TABLE_DUMP_V2 encode/decode.
+	sim, net, topo := testNet(t)
+	c := New("rrc13")
+	c.Attach(net, SelectPeers(topo, 6, 14)...)
+	site := topo.NodeByName("cdn-msn")
+	net.Originate(site.ID, prefix, &bgp.OriginPolicy{Prepend: 4})
+	sim.Run()
+	var buf bytes.Buffer
+	if err := c.WriteRIBDump(&buf, topo, sim.Now()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadRIBDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundPrepended := false
+	for _, e := range entries {
+		count := 0
+		for _, a := range e.Path {
+			if a == 47065 {
+				count++
+			}
+		}
+		if count == 5 {
+			foundPrepended = true
+		}
+	}
+	if !foundPrepended {
+		t.Fatal("prepended path (5×47065) not found in dump")
+	}
+}

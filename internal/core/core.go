@@ -1,0 +1,393 @@
+// Package core implements the paper's contribution: CDN client-to-site
+// routing techniques that combine unicast's traffic control with anycast's
+// fast failover, together with the CDN controller that orchestrates
+// announcements, DNS records, failure detection, and reactive
+// reconfiguration.
+//
+// Six techniques are provided (§2, §3, §4 and Figure 1):
+//
+//	unicast               per-site prefix + DNS redirection only
+//	anycast               one shared prefix from every site
+//	proactive-superprefix per-site prefix + covering prefix from all sites
+//	reactive-anycast      per-site prefix; on failure all other sites
+//	                      announce the failed site's prefix
+//	proactive-prepending  per-site prefix announced un-prepended at its
+//	                      site and prepended (×k) from all other sites
+//	combined              reactive-anycast + proactive-superprefix (§4)
+//
+// Each site is a distinct BGP speaker sharing the CDN's origin ASN, holds a
+// dedicated /24, and can be failed: the site withdraws all announcements
+// and drops packets, after which the controller's health monitor fires the
+// technique's reactive behavior (if any) and updates DNS.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"bestofboth/internal/bgp"
+	"bestofboth/internal/dataplane"
+	"bestofboth/internal/dns"
+	"bestofboth/internal/netsim"
+	"bestofboth/internal/topology"
+)
+
+// Default prefix plan, modeled on the paper's PEERING allocation
+// (184.164.244.0/23): each site gets a /24 from a /21, the /21 itself is
+// the covering superprefix, and a separate /24 serves pure anycast.
+var (
+	// SuperPrefix covers all per-site prefixes.
+	SuperPrefix = netip.MustParsePrefix("184.164.240.0/21")
+	// AnycastPrefix is the shared prefix for the pure-anycast technique.
+	AnycastPrefix = netip.MustParsePrefix("184.164.248.0/24")
+	// AnycastServiceAddr is the service address inside AnycastPrefix.
+	AnycastServiceAddr = netip.MustParseAddr("184.164.248.10")
+)
+
+// SitePrefix returns the /24 assigned to the i-th site (i < 8 under the
+// default /21 plan).
+func SitePrefix(i int) netip.Prefix {
+	a := SuperPrefix.Addr().As4()
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{a[0], a[1], a[2] + byte(i), 0}), 24)
+}
+
+// ServiceAddr returns the service address (.10) within a prefix.
+func ServiceAddr(p netip.Prefix) netip.Addr {
+	a := p.Addr().As4()
+	return netip.AddrFrom4([4]byte{a[0], a[1], a[2], 10})
+}
+
+// Site is one CDN point of presence.
+type Site struct {
+	Code string
+	Node topology.NodeID
+	// Prefix is the site's dedicated unicast /24.
+	Prefix netip.Prefix
+	// Addr is the service address within Prefix that DNS hands out to
+	// steer clients here.
+	Addr netip.Addr
+	// Prefix6/Addr6 are the site's /48 and v6 service address when the
+	// CDN runs dual stack (EnableDualStack).
+	Prefix6 netip.Prefix
+	Addr6   netip.Addr
+}
+
+// announcement tracks one live origination for later withdrawal.
+type announcement struct {
+	node   topology.NodeID
+	prefix netip.Prefix
+}
+
+// CDN is the controller: it owns the sites, drives announcements through
+// the BGP layer per the active technique, maintains the authoritative DNS
+// zone, and reacts to site failures.
+type CDN struct {
+	net   *bgp.Network
+	plane *dataplane.Plane
+	sim   *netsim.Sim
+	auth  *dns.Authoritative
+
+	sites  []*Site
+	byCode map[string]*Site
+
+	technique Technique
+	announced []announcement
+	failed    map[string]bool
+	reacted   map[string]bool
+	dualStack bool
+
+	// DetectionDelay is the latency of the CDN's health monitoring between
+	// a site failing and the controller reacting (reactive announcements,
+	// DNS updates). CDNs deploy real-time monitoring [Odin, NEL]; the
+	// default models ~1 s detection plus actuation.
+	DetectionDelay netsim.Seconds
+
+	// DNSTTL is the TTL on service A records.
+	DNSTTL uint32
+}
+
+// Config bundles CDN construction parameters.
+type Config struct {
+	// DetectionDelay overrides the default 1 s failure-detection latency.
+	DetectionDelay netsim.Seconds
+	// DNSTTL overrides the default 600 s record TTL (the ~10 min median
+	// TTL of popular domains per Moura et al.).
+	DNSTTL uint32
+	// ZoneOrigin overrides the default "cdn.example." zone.
+	ZoneOrigin string
+}
+
+// New builds a CDN over every ClassCDN node in the topology, in site-code
+// order of the generator's DefaultSiteCodes (stable ordering: by node id).
+func New(net *bgp.Network, plane *dataplane.Plane, cfg Config) (*CDN, error) {
+	if cfg.DetectionDelay == 0 {
+		cfg.DetectionDelay = 1.0
+	}
+	if cfg.DNSTTL == 0 {
+		cfg.DNSTTL = 600
+	}
+	if cfg.ZoneOrigin == "" {
+		cfg.ZoneOrigin = "cdn.example."
+	}
+	c := &CDN{
+		net:            net,
+		plane:          plane,
+		sim:            net.Sim(),
+		auth:           dns.NewAuthoritative(cfg.ZoneOrigin),
+		byCode:         map[string]*Site{},
+		failed:         map[string]bool{},
+		reacted:        map[string]bool{},
+		DetectionDelay: cfg.DetectionDelay,
+		DNSTTL:         cfg.DNSTTL,
+	}
+	nodes := net.Topology().NodesOfClass(topology.ClassCDN)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("core: topology has no CDN sites")
+	}
+	if len(nodes) > 8 {
+		return nil, fmt.Errorf("core: %d sites exceed the /21 prefix plan", len(nodes))
+	}
+	for i, n := range nodes {
+		if n.Site == "" {
+			return nil, fmt.Errorf("core: CDN node %s has no site code", n.Name)
+		}
+		p := SitePrefix(i)
+		s := &Site{Code: n.Site, Node: n.ID, Prefix: p, Addr: ServiceAddr(p)}
+		c.sites = append(c.sites, s)
+		c.byCode[s.Code] = s
+	}
+	return c, nil
+}
+
+// Sites returns all sites in stable order.
+func (c *CDN) Sites() []*Site { return c.sites }
+
+// Site returns the site with the given code, or nil.
+func (c *CDN) Site(code string) *Site { return c.byCode[code] }
+
+// Authoritative exposes the CDN's DNS server.
+func (c *CDN) Authoritative() *dns.Authoritative { return c.auth }
+
+// Technique returns the active technique, or nil before Deploy.
+func (c *CDN) Technique() Technique { return c.technique }
+
+// Plane returns the data plane (for catchment queries in examples/tools).
+func (c *CDN) Plane() *dataplane.Plane { return c.plane }
+
+// announce originates prefix at node and records it for cleanup. Under
+// dual stack, plan prefixes are mirrored onto their /48 twins with the
+// same policy, so every technique's announcement algebra carries over to
+// IPv6 unchanged.
+func (c *CDN) announce(node topology.NodeID, prefix netip.Prefix, pol *bgp.OriginPolicy) error {
+	if err := c.net.Originate(node, prefix, pol); err != nil {
+		return err
+	}
+	c.announced = append(c.announced, announcement{node, prefix})
+	if c.dualStack {
+		if p6, ok := c.v6Counterpart(prefix); ok {
+			if err := c.net.Originate(node, p6, pol); err != nil {
+				return err
+			}
+			c.announced = append(c.announced, announcement{node, p6})
+		}
+	}
+	return nil
+}
+
+// withdraw removes one origination (and its v6 mirror) and forgets it.
+func (c *CDN) withdraw(node topology.NodeID, prefix netip.Prefix) {
+	c.net.Withdraw(node, prefix)
+	c.forget(node, prefix)
+	if c.dualStack {
+		if p6, ok := c.v6Counterpart(prefix); ok {
+			c.net.Withdraw(node, p6)
+			c.forget(node, p6)
+		}
+	}
+}
+
+// withdrawAll withdraws every live announcement made by node.
+func (c *CDN) withdrawAll(node topology.NodeID) {
+	kept := c.announced[:0]
+	for _, a := range c.announced {
+		if a.node == node {
+			c.net.Withdraw(a.node, a.prefix)
+		} else {
+			kept = append(kept, a)
+		}
+	}
+	c.announced = kept
+}
+
+// Deploy activates a technique: it installs the technique's
+// normal-operation announcements and publishes DNS records. Deploy must be
+// called once per CDN instance.
+func (c *CDN) Deploy(t Technique) error {
+	if c.technique != nil {
+		return fmt.Errorf("core: technique %s already deployed", c.technique.Name())
+	}
+	c.technique = t
+	if err := t.Setup(c); err != nil {
+		return fmt.Errorf("core: deploying %s: %w", t.Name(), err)
+	}
+	// Publish per-site service names and the main service name. The main
+	// name initially maps every client to the technique's default: for
+	// anycast the shared address, otherwise the first site (per-client
+	// steering is applied by the harness via SteerAddr).
+	for _, s := range c.sites {
+		if err := c.auth.SetA(s.Code, c.DNSTTL, t.SteerAddr(c, s)); err != nil {
+			return err
+		}
+		if c.dualStack {
+			if err := c.auth.SetAAAA(s.Code, c.DNSTTL, c.SteerAddr6(s)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := c.auth.SetA("www", c.DNSTTL, t.SteerAddr(c, c.sites[0])); err != nil {
+		return err
+	}
+	if c.dualStack {
+		if err := c.auth.SetAAAA("www", c.DNSTTL, c.SteerAddr6(c.sites[0])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Failed reports whether the site is currently failed.
+func (c *CDN) Failed(code string) bool { return c.failed[code] }
+
+// HealthySites returns all non-failed sites.
+func (c *CDN) HealthySites() []*Site {
+	var out []*Site
+	for _, s := range c.sites {
+		if !c.failed[s.Code] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// CrashSite takes a site down at the current virtual time without any
+// controller reaction: the site stops forwarding and its announcements are
+// withdrawn (its BGP sessions are gone), but nothing else happens until
+// the health-monitoring path notices — use FailSite for the paper's
+// fail-and-react sequence, or StartMonitor to detect crashes from probing.
+func (c *CDN) CrashSite(code string) error {
+	s := c.byCode[code]
+	if s == nil {
+		return fmt.Errorf("core: unknown site %q", code)
+	}
+	if c.failed[code] {
+		return fmt.Errorf("core: site %q already failed", code)
+	}
+	if c.technique == nil {
+		return fmt.Errorf("core: no technique deployed")
+	}
+	c.failed[code] = true
+	delete(c.reacted, code)
+	c.plane.SetDown(s.Node, true)
+	c.withdrawAll(s.Node)
+	return nil
+}
+
+// ReactToFailure runs the controller's response to a detected site
+// failure: the technique's reactive announcements plus DNS repointing. It
+// is idempotent per failure episode.
+func (c *CDN) ReactToFailure(code string) error {
+	s := c.byCode[code]
+	if s == nil {
+		return fmt.Errorf("core: unknown site %q", code)
+	}
+	if !c.failed[code] {
+		return fmt.Errorf("core: site %q is not failed", code)
+	}
+	if c.reacted[code] {
+		return nil
+	}
+	c.reacted[code] = true
+	if err := c.technique.OnSiteFailure(c, s); err != nil {
+		return err
+	}
+	// DNS: repoint the failed site's name and the main name at a healthy
+	// site.
+	healthy := c.HealthySites()
+	if len(healthy) == 0 {
+		c.auth.RemoveA(s.Code)
+		c.auth.RemoveA("www")
+		return nil
+	}
+	backup := healthy[0]
+	if err := c.auth.SetA(s.Code, c.DNSTTL, c.technique.SteerAddr(c, backup)); err != nil {
+		return err
+	}
+	if c.dualStack {
+		if err := c.auth.SetAAAA(s.Code, c.DNSTTL, c.SteerAddr6(backup)); err != nil {
+			return err
+		}
+		if err := c.auth.SetAAAA("www", c.DNSTTL, c.SteerAddr6(backup)); err != nil {
+			return err
+		}
+	}
+	return c.auth.SetA("www", c.DNSTTL, c.technique.SteerAddr(c, backup))
+}
+
+// FailSite emulates a site failure at the current virtual time: the site
+// withdraws all its announcements and stops forwarding (§5.2). After
+// DetectionDelay the controller fires the technique's reactive behavior and
+// repoints DNS names at a healthy site.
+func (c *CDN) FailSite(code string) error {
+	if err := c.CrashSite(code); err != nil {
+		return err
+	}
+	c.sim.After(c.DetectionDelay, func() {
+		c.ReactToFailure(code)
+	})
+	return nil
+}
+
+// RecoverSite restores a failed site: it resumes forwarding, reinstalls the
+// technique's normal-operation announcements for the site, and repoints the
+// site's DNS name back.
+func (c *CDN) RecoverSite(code string) error {
+	s := c.byCode[code]
+	if s == nil {
+		return fmt.Errorf("core: unknown site %q", code)
+	}
+	if !c.failed[code] {
+		return fmt.Errorf("core: site %q is not failed", code)
+	}
+	delete(c.failed, code)
+	c.plane.SetDown(s.Node, false)
+	if err := c.technique.OnSiteRecovery(c, s); err != nil {
+		return err
+	}
+	return c.auth.SetA(s.Code, c.DNSTTL, c.technique.SteerAddr(c, s))
+}
+
+// CatchmentOf returns the site currently attracting traffic from the
+// client node toward addr, or nil if unreachable or delivered to a
+// non-site node.
+func (c *CDN) CatchmentOf(client topology.NodeID, addr netip.Addr) *Site {
+	dest, ok := c.plane.Catchment(client, addr)
+	if !ok {
+		return nil
+	}
+	for _, s := range c.sites {
+		if s.Node == dest {
+			return s
+		}
+	}
+	return nil
+}
+
+// CanSteer reports whether the active technique routes the client to the
+// intended site when DNS hands out the steering address for that site —
+// the paper's traffic-control metric (§5.4.2).
+func (c *CDN) CanSteer(client topology.NodeID, site *Site) bool {
+	got := c.CatchmentOf(client, c.technique.SteerAddr(c, site))
+	return got != nil && got.Node == site.Node
+}

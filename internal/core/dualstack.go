@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// IPv6 prefix plan. The paper frames per-site prefixes as "/24 or /48"
+// (§4); the v6 plan mirrors the v4 one: a /44 covers the per-site /48s,
+// with a separate /48 for pure anycast.
+var (
+	// SuperPrefix6 covers all per-site /48s.
+	SuperPrefix6 = netip.MustParsePrefix("2001:db8:240::/44")
+	// AnycastPrefix6 is the shared v6 prefix for pure anycast.
+	AnycastPrefix6 = netip.MustParsePrefix("2001:db8:248::/48")
+	// AnycastServiceAddr6 is the service address inside AnycastPrefix6.
+	AnycastServiceAddr6 = netip.MustParseAddr("2001:db8:248::10")
+)
+
+// SitePrefix6 returns the /48 assigned to the i-th site.
+func SitePrefix6(i int) netip.Prefix {
+	a := SuperPrefix6.Addr().As16()
+	a[5] += byte(i) // 2001:db8:24i::/48
+	return netip.PrefixFrom(netip.AddrFrom16(a), 48)
+}
+
+// ServiceAddr6 returns the service address (::10) within a /48.
+func ServiceAddr6(p netip.Prefix) netip.Addr {
+	a := p.Addr().As16()
+	a[15] = 0x10
+	return netip.AddrFrom16(a)
+}
+
+// v6Counterpart maps a prefix of the v4 plan to its v6 twin. Announcements
+// of unrelated prefixes (targets, scratch experiment prefixes) have no
+// counterpart.
+func (c *CDN) v6Counterpart(p netip.Prefix) (netip.Prefix, bool) {
+	switch p {
+	case SuperPrefix:
+		return SuperPrefix6, true
+	case AnycastPrefix:
+		return AnycastPrefix6, true
+	}
+	for i, s := range c.sites {
+		if p == s.Prefix {
+			return SitePrefix6(i), true
+		}
+	}
+	return netip.Prefix{}, false
+}
+
+// EnableDualStack mirrors every plan announcement onto the IPv6 prefix
+// plan and publishes AAAA records alongside the A records. Call before
+// Deploy. Since the BGP layer, FIBs, and forwarding are address-family
+// agnostic, every technique's failover mechanics apply to the /48s exactly
+// as to the /24s — which is the §4 claim this mode exists to demonstrate.
+func (c *CDN) EnableDualStack() error {
+	if c.technique != nil {
+		return fmt.Errorf("core: enable dual stack before Deploy")
+	}
+	c.dualStack = true
+	for i, s := range c.sites {
+		s.Prefix6 = SitePrefix6(i)
+		s.Addr6 = ServiceAddr6(s.Prefix6)
+	}
+	return nil
+}
+
+// DualStack reports whether the v6 mirror is active.
+func (c *CDN) DualStack() bool { return c.dualStack }
+
+// SteerAddr6 returns the IPv6 address DNS hands to clients the CDN wants
+// at the given site under the active technique (the v6 twin of
+// Technique.SteerAddr). Returns the zero Addr when dual stack is off.
+func (c *CDN) SteerAddr6(s *Site) netip.Addr {
+	if !c.dualStack || c.technique == nil {
+		return netip.Addr{}
+	}
+	v4 := c.technique.SteerAddr(c, s)
+	if v4 == AnycastServiceAddr {
+		return AnycastServiceAddr6
+	}
+	for _, site := range c.sites {
+		if v4 == site.Addr {
+			return site.Addr6
+		}
+	}
+	return netip.Addr{}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestConcurrentMultiSiteFailure fails three sites at once under
+// reactive-anycast: the surviving sites must cover all three prefixes.
+func TestConcurrentMultiSiteFailure(t *testing.T) {
+	w := newWorld(t, 60)
+	if err := w.cdn.Deploy(ReactiveAnycast{}); err != nil {
+		t.Fatal(err)
+	}
+	w.converge()
+	client := w.someClient(t)
+
+	for _, code := range []string{"ams", "atl", "slc"} {
+		if err := w.cdn.FailSite(code); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.converge()
+	if got := len(w.cdn.HealthySites()); got != 5 {
+		t.Fatalf("healthy sites = %d, want 5", got)
+	}
+	for _, code := range []string{"ams", "atl", "slc"} {
+		failed := w.cdn.Site(code)
+		after := w.cdn.CatchmentOf(client.ID, failed.Addr)
+		if after == nil {
+			t.Fatalf("prefix of %s unreachable after triple failure", code)
+		}
+		if w.cdn.Failed(w.topo.Node(after.Node).Site) {
+			t.Fatalf("prefix of %s served by failed site %s", code, after.Code)
+		}
+	}
+}
+
+// TestFailureDuringConvergence fails a site before the initial deployment
+// has converged: the system must still end consistent.
+func TestFailureDuringConvergence(t *testing.T) {
+	w := newWorld(t, 61)
+	if err := w.cdn.Deploy(ReactiveAnycast{}); err != nil {
+		t.Fatal(err)
+	}
+	// Only 2 seconds in: announcements are still propagating.
+	w.sim.RunFor(2)
+	if err := w.cdn.FailSite("bos"); err != nil {
+		t.Fatal(err)
+	}
+	w.converge()
+	client := w.someClient(t)
+	after := w.cdn.CatchmentOf(client.ID, w.cdn.Site("bos").Addr)
+	if after == nil || after.Code == "bos" {
+		t.Fatalf("inconsistent state after mid-convergence failure: %+v", after)
+	}
+	// No node anywhere should retain a route whose origin is the dead
+	// site.
+	for _, n := range w.topo.Nodes {
+		best := w.net.Speaker(n.ID).Best(w.cdn.Site("bos").Prefix)
+		if best != nil && best.OriginNode == w.cdn.Site("bos").Node {
+			t.Fatalf("node %s still routes to the dead bos origin", n.Name)
+		}
+	}
+}
+
+// TestRollingFailureAndRecovery cycles failures through every site one at
+// a time, recovering each before failing the next, and verifies full
+// steering is restored at the end.
+func TestRollingFailureAndRecovery(t *testing.T) {
+	w := newWorld(t, 62)
+	if err := w.cdn.Deploy(ProactiveSuperprefix{}); err != nil {
+		t.Fatal(err)
+	}
+	w.converge()
+	client := w.someClient(t)
+	for _, s := range w.cdn.Sites() {
+		if err := w.cdn.FailSite(s.Code); err != nil {
+			t.Fatalf("fail %s: %v", s.Code, err)
+		}
+		w.converge()
+		if err := w.cdn.RecoverSite(s.Code); err != nil {
+			t.Fatalf("recover %s: %v", s.Code, err)
+		}
+		w.converge()
+	}
+	for _, s := range w.cdn.Sites() {
+		if !w.cdn.CanSteer(client.ID, s) {
+			t.Fatalf("steering to %s broken after rolling failures", s.Code)
+		}
+	}
+	if got := len(w.cdn.HealthySites()); got != 8 {
+		t.Fatalf("healthy sites = %d after full recovery", got)
+	}
+}
+
+// TestAllButOneSiteFails drives the CDN down to a single surviving site
+// under anycast; the survivor must absorb every reachable client.
+func TestAllButOneSiteFails(t *testing.T) {
+	w := newWorld(t, 63)
+	if err := w.cdn.Deploy(Anycast{}); err != nil {
+		t.Fatal(err)
+	}
+	w.converge()
+	sites := w.cdn.Sites()
+	for _, s := range sites[:len(sites)-1] {
+		if err := w.cdn.FailSite(s.Code); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.converge()
+	survivor := sites[len(sites)-1]
+	reached, total := 0, 0
+	for _, n := range w.topo.Nodes {
+		if !n.Prefix.IsValid() {
+			continue
+		}
+		total++
+		got := w.cdn.CatchmentOf(n.ID, AnycastServiceAddr)
+		if got == nil {
+			continue
+		}
+		if got.Node != survivor.Node {
+			t.Fatalf("client %s served by %s, not the sole survivor", n.Name, got.Code)
+		}
+		reached++
+	}
+	if reached < total*9/10 {
+		t.Fatalf("only %d/%d clients reach the surviving site", reached, total)
+	}
+}
+
+// TestDNSFallbackWhenAllSitesFail verifies the controller clears the zone
+// when no healthy site remains.
+func TestDNSFallbackWhenAllSitesFail(t *testing.T) {
+	w := newWorld(t, 64)
+	if err := w.cdn.Deploy(Unicast{}); err != nil {
+		t.Fatal(err)
+	}
+	w.converge()
+	for _, s := range w.cdn.Sites() {
+		if err := w.cdn.FailSite(s.Code); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.converge()
+	if got := authQueryA(t, w.cdn.Authoritative(), "www.cdn.example."); len(got) != 0 {
+		t.Fatalf("www still resolves after total outage: %v", got)
+	}
+}

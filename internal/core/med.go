@@ -1,0 +1,127 @@
+package core
+
+import (
+	"net/netip"
+
+	"bestofboth/internal/bgp"
+	"bestofboth/internal/topology"
+)
+
+// ProactiveMED is the §4 variant the paper sketches but does not evaluate:
+// "BGP MED could also be used for neighbors that support it." Every site's
+// prefix is announced un-prepended at its own site with MED 0 and from
+// backup sites with a high MED, restricted to neighbors that also connect
+// to the primary site. Because both announcements reach such a neighbor
+// from the same neighbor AS (the CDN's origin AS), the MED comparison
+// applies and deterministically prefers the primary — giving unicast-grade
+// control — while the backup routes pre-position failover state exactly
+// like proactive-prepending, without lengthening the AS path (and hence
+// without prepending's convergence penalty, Appendix C.2).
+//
+// The tradeoff: only neighbors shared with the primary site receive
+// backups, so coverage equals the scoped-prepending variant's.
+type ProactiveMED struct {
+	// BackupMED is the MED on backup announcements (default 100).
+	BackupMED int
+}
+
+func (t ProactiveMED) med() int {
+	if t.BackupMED <= 0 {
+		return 100
+	}
+	return t.BackupMED
+}
+
+// Name implements Technique.
+func (ProactiveMED) Name() string { return "proactive-med" }
+
+// Setup announces each prefix at its site with MED 0 and at other sites
+// with the backup MED, scoped to shared neighbors.
+func (t ProactiveMED) Setup(c *CDN) error {
+	for _, owner := range c.sites {
+		for _, s := range c.sites {
+			if s.Node == owner.Node {
+				if err := c.announce(s.Node, owner.Prefix, &bgp.OriginPolicy{MED: 0}); err != nil {
+					return err
+				}
+				continue
+			}
+			pol := t.backupPolicy(c, owner, s)
+			if pol == nil {
+				continue
+			}
+			pol.MED = t.med()
+			if err := c.announce(s.Node, owner.Prefix, pol); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// backupPolicy scopes the MED backup announcement at site s for owner's
+// prefix to neighbors (by ASN) shared with the owner site. Returns nil if
+// no neighbor is shared.
+func (ProactiveMED) backupPolicy(c *CDN, owner, s *Site) *bgp.OriginPolicy {
+	topo := c.net.Topology()
+	ownerASNs := map[topology.ASN]bool{}
+	for _, adj := range topo.Node(owner.Node).Adj {
+		ownerASNs[topo.Node(adj.To).ASN] = true
+	}
+	pol := &bgp.OriginPolicy{PerNeighbor: map[topology.NodeID]bgp.NeighborPolicy{}}
+	any := false
+	for _, adj := range topo.Node(s.Node).Adj {
+		if ownerASNs[topo.Node(adj.To).ASN] {
+			pol.PerNeighbor[adj.To] = bgp.NeighborPolicy{Export: true}
+			any = true
+		} else {
+			pol.PerNeighbor[adj.To] = bgp.NeighborPolicy{Export: false}
+		}
+	}
+	if !any {
+		return nil
+	}
+	return pol
+}
+
+// OnSiteFailure does nothing: the MED backups are already announced.
+func (ProactiveMED) OnSiteFailure(*CDN, *Site) error { return nil }
+
+// OnSiteRecovery restores the site's primary announcement and its backup
+// announcements for other sites' prefixes.
+func (t ProactiveMED) OnSiteRecovery(c *CDN, s *Site) error {
+	if err := c.announce(s.Node, s.Prefix, &bgp.OriginPolicy{MED: 0}); err != nil {
+		return err
+	}
+	for _, owner := range c.sites {
+		if owner.Node == s.Node {
+			continue
+		}
+		pol := t.backupPolicy(c, owner, s)
+		if pol == nil {
+			continue
+		}
+		pol.MED = t.med()
+		if err := c.announce(s.Node, owner.Prefix, pol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SteerAddr returns the site's unicast service address.
+func (ProactiveMED) SteerAddr(_ *CDN, s *Site) netip.Addr { return s.Addr }
+
+// Tradeoffs: control like scoped prepending, availability like
+// proactive-prepending, low risk.
+func (ProactiveMED) Tradeoffs() Tradeoffs { return Tradeoffs{High, High, Low} }
+
+// ExtensionTechniques returns the techniques beyond the paper's evaluated
+// set: the MED variant sketched in §4 and the scoped-prepending deployment
+// recommendation.
+func ExtensionTechniques() []Technique {
+	return []Technique{
+		ProactiveMED{},
+		ProactivePrepending{Prepends: 3, Scoped: true},
+	}
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"net/netip"
+
+	"bestofboth/internal/bgp"
+	"bestofboth/internal/topology"
+)
+
+// Rating is a qualitative level used in the paper's Table 2.
+type Rating string
+
+// Ratings used by Table 2.
+const (
+	Low    Rating = "low"
+	Medium Rating = "medium"
+	High   Rating = "high"
+)
+
+// Tradeoffs summarizes a technique's qualitative properties (Table 2).
+type Tradeoffs struct {
+	Control      Rating
+	Availability Rating
+	Risk         Rating
+}
+
+// Technique is a CDN client-to-site routing strategy (Figure 1): what each
+// site announces in normal operation, what changes after a site failure,
+// and which address DNS returns to steer a client to a given site.
+type Technique interface {
+	// Name returns the technique's identifier as used in the paper.
+	Name() string
+	// Setup installs the normal-operation announcements.
+	Setup(c *CDN) error
+	// OnSiteFailure installs announcements other sites make after the
+	// failed site withdrew (Figure 1, right column). Called by the
+	// controller after failure detection.
+	OnSiteFailure(c *CDN, failed *Site) error
+	// OnSiteRecovery restores the site's normal-operation announcements
+	// and unwinds any reactive state.
+	OnSiteRecovery(c *CDN, s *Site) error
+	// SteerAddr returns the address DNS hands to clients the CDN wants at
+	// the given site.
+	SteerAddr(c *CDN, s *Site) netip.Addr
+	// Tradeoffs returns the Table 2 qualitative ratings.
+	Tradeoffs() Tradeoffs
+}
+
+// --- unicast ---------------------------------------------------------------
+
+// Unicast is DNS-based redirection over per-site prefixes (§2): full
+// control, but failover gated entirely by DNS caching.
+type Unicast struct{}
+
+// Name implements Technique.
+func (Unicast) Name() string { return "unicast" }
+
+// Setup announces each site's own /24 from that site only.
+func (Unicast) Setup(c *CDN) error {
+	for _, s := range c.sites {
+		if err := c.announce(s.Node, s.Prefix, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnSiteFailure does nothing: unicast relies on DNS record updates alone.
+func (Unicast) OnSiteFailure(*CDN, *Site) error { return nil }
+
+// OnSiteRecovery re-announces the site prefix.
+func (Unicast) OnSiteRecovery(c *CDN, s *Site) error {
+	return c.announce(s.Node, s.Prefix, nil)
+}
+
+// SteerAddr returns the site's unicast service address.
+func (Unicast) SteerAddr(_ *CDN, s *Site) netip.Addr { return s.Addr }
+
+// Tradeoffs implements Table 2: high control, low availability, low risk.
+func (Unicast) Tradeoffs() Tradeoffs { return Tradeoffs{High, Low, Low} }
+
+// --- anycast ---------------------------------------------------------------
+
+// Anycast announces one shared prefix from every site (§2): no per-client
+// control, fast failover via BGP reconvergence.
+type Anycast struct{}
+
+// Name implements Technique.
+func (Anycast) Name() string { return "anycast" }
+
+// Setup announces the shared prefix everywhere.
+func (Anycast) Setup(c *CDN) error {
+	for _, s := range c.sites {
+		if err := c.announce(s.Node, AnycastPrefix, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnSiteFailure does nothing: the failed site's withdrawal suffices.
+func (Anycast) OnSiteFailure(*CDN, *Site) error { return nil }
+
+// OnSiteRecovery re-announces the shared prefix at the site.
+func (Anycast) OnSiteRecovery(c *CDN, s *Site) error {
+	return c.announce(s.Node, AnycastPrefix, nil)
+}
+
+// SteerAddr returns the shared anycast address regardless of site: BGP, not
+// the CDN, picks the site.
+func (Anycast) SteerAddr(_ *CDN, _ *Site) netip.Addr { return AnycastServiceAddr }
+
+// Tradeoffs implements Table 2: low control, high availability, low risk.
+func (Anycast) Tradeoffs() Tradeoffs { return Tradeoffs{Low, High, Low} }
+
+// --- proactive-superprefix ---------------------------------------------------
+
+// ProactiveSuperprefix is the hybrid non-solution of §3: per-site /24 plus
+// a covering prefix announced from every site. Control equals unicast, but
+// failover waits out the /24's withdrawal convergence (~100 s median,
+// minutes at the tail — Appendix A) because longest-prefix match keeps
+// using invalid /24 routes over the valid covering routes.
+type ProactiveSuperprefix struct{}
+
+// Name implements Technique.
+func (ProactiveSuperprefix) Name() string { return "proactive-superprefix" }
+
+// Setup announces each site's /24 at that site and the covering superprefix
+// everywhere.
+func (ProactiveSuperprefix) Setup(c *CDN) error {
+	for _, s := range c.sites {
+		if err := c.announce(s.Node, s.Prefix, nil); err != nil {
+			return err
+		}
+		if err := c.announce(s.Node, SuperPrefix, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnSiteFailure does nothing: the covering prefix is already in place.
+func (ProactiveSuperprefix) OnSiteFailure(*CDN, *Site) error { return nil }
+
+// OnSiteRecovery restores both announcements.
+func (ProactiveSuperprefix) OnSiteRecovery(c *CDN, s *Site) error {
+	if err := c.announce(s.Node, s.Prefix, nil); err != nil {
+		return err
+	}
+	return c.announce(s.Node, SuperPrefix, nil)
+}
+
+// SteerAddr returns the site's unicast service address.
+func (ProactiveSuperprefix) SteerAddr(_ *CDN, s *Site) netip.Addr { return s.Addr }
+
+// Tradeoffs implements Table 2: high control, medium availability, low risk.
+func (ProactiveSuperprefix) Tradeoffs() Tradeoffs { return Tradeoffs{High, Medium, Low} }
+
+// --- reactive-anycast --------------------------------------------------------
+
+// ReactiveAnycast is the paper's first technique (§4): unicast in normal
+// operation; upon failure, every other site immediately announces the
+// failed site's prefix, injecting valid replacement routes that converge at
+// anycast speed. Control is full; the cost is a global routing
+// reconfiguration at failure time (high operational risk, §7).
+type ReactiveAnycast struct{}
+
+// Name implements Technique.
+func (ReactiveAnycast) Name() string { return "reactive-anycast" }
+
+// Setup is identical to unicast.
+func (ReactiveAnycast) Setup(c *CDN) error {
+	for _, s := range c.sites {
+		if err := c.announce(s.Node, s.Prefix, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnSiteFailure makes every healthy site announce the failed site's prefix.
+func (ReactiveAnycast) OnSiteFailure(c *CDN, failed *Site) error {
+	for _, s := range c.HealthySites() {
+		if err := c.announce(s.Node, failed.Prefix, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnSiteRecovery withdraws the reactive announcements from other sites and
+// restores the site's own announcement.
+func (ReactiveAnycast) OnSiteRecovery(c *CDN, s *Site) error {
+	for _, other := range c.sites {
+		if other.Node != s.Node {
+			c.withdraw(other.Node, s.Prefix)
+		}
+	}
+	return c.announce(s.Node, s.Prefix, nil)
+}
+
+// SteerAddr returns the site's unicast service address.
+func (ReactiveAnycast) SteerAddr(_ *CDN, s *Site) netip.Addr { return s.Addr }
+
+// Tradeoffs implements Table 2: high control, high availability, high risk.
+func (ReactiveAnycast) Tradeoffs() Tradeoffs { return Tradeoffs{High, High, High} }
+
+// --- proactive-prepending ------------------------------------------------------
+
+// ProactivePrepending is the paper's second technique (§4): every site's
+// prefix is announced un-prepended at that site and prepended k times from
+// every other site, so backup routes pre-exist failure and no
+// reconfiguration is needed. Control is partial — LOCAL_PREF can override
+// path length — and deeper prepending trades failover speed for control
+// (Appendix C.2).
+type ProactivePrepending struct {
+	// Prepends is the number of extra origin-ASN copies at backup sites
+	// (the paper evaluates 3 and 5).
+	Prepends int
+	// Scoped, when true, announces backup routes only to neighbors that
+	// also connect to the prefix's primary site, the paper's
+	// recommendation (§4) for retaining control.
+	Scoped bool
+}
+
+// Name implements Technique.
+func (t ProactivePrepending) Name() string {
+	if t.Scoped {
+		return "proactive-prepending-scoped"
+	}
+	return "proactive-prepending"
+}
+
+// Setup announces every site prefix from every site: un-prepended at its
+// own site, prepended elsewhere.
+func (t ProactivePrepending) Setup(c *CDN) error {
+	k := t.Prepends
+	if k <= 0 {
+		k = 3
+	}
+	for _, owner := range c.sites {
+		for _, s := range c.sites {
+			if s.Node == owner.Node {
+				if err := c.announce(s.Node, owner.Prefix, nil); err != nil {
+					return err
+				}
+				continue
+			}
+			pol := &bgp.OriginPolicy{Prepend: k}
+			if t.Scoped {
+				pol = t.scopedPolicy(c, owner, s, k)
+				if pol == nil {
+					continue // no shared neighbors: nothing to announce
+				}
+			}
+			if err := c.announce(s.Node, owner.Prefix, pol); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// scopedPolicy restricts the backup announcement at site s for owner's
+// prefix to neighbors (by ASN) that also have a session with the owner
+// site, so every network hearing the prepended backup also hears the
+// un-prepended primary and path length decides. Returns nil if s shares no
+// neighbors with owner.
+func (t ProactivePrepending) scopedPolicy(c *CDN, owner, s *Site, k int) *bgp.OriginPolicy {
+	topo := c.net.Topology()
+	ownerASNs := map[topology.ASN]bool{}
+	for _, adj := range topo.Node(owner.Node).Adj {
+		ownerASNs[topo.Node(adj.To).ASN] = true
+	}
+	pol := &bgp.OriginPolicy{Prepend: k, PerNeighbor: map[topology.NodeID]bgp.NeighborPolicy{}}
+	any := false
+	for _, adj := range topo.Node(s.Node).Adj {
+		if ownerASNs[topo.Node(adj.To).ASN] {
+			pol.PerNeighbor[adj.To] = bgp.NeighborPolicy{Export: true, Prepend: k}
+			any = true
+		} else {
+			pol.PerNeighbor[adj.To] = bgp.NeighborPolicy{Export: false}
+		}
+	}
+	if !any {
+		return nil
+	}
+	return pol
+}
+
+// OnSiteFailure does nothing: the prepended backups are already announced.
+func (ProactivePrepending) OnSiteFailure(*CDN, *Site) error { return nil }
+
+// OnSiteRecovery restores the site's announcements: its own prefix
+// un-prepended plus prepended backups for every other site's prefix.
+func (t ProactivePrepending) OnSiteRecovery(c *CDN, s *Site) error {
+	k := t.Prepends
+	if k <= 0 {
+		k = 3
+	}
+	if err := c.announce(s.Node, s.Prefix, nil); err != nil {
+		return err
+	}
+	for _, owner := range c.sites {
+		if owner.Node == s.Node {
+			continue
+		}
+		pol := &bgp.OriginPolicy{Prepend: k}
+		if t.Scoped {
+			pol = t.scopedPolicy(c, owner, s, k)
+			if pol == nil {
+				continue
+			}
+		}
+		if err := c.announce(s.Node, owner.Prefix, pol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SteerAddr returns the site's service address (its prefix is globally
+// announced; the un-prepended origin should win path-length ties).
+func (ProactivePrepending) SteerAddr(_ *CDN, s *Site) netip.Addr { return s.Addr }
+
+// Tradeoffs implements Table 2: medium control, high availability, low risk.
+func (ProactivePrepending) Tradeoffs() Tradeoffs { return Tradeoffs{Medium, High, Low} }
+
+// --- combined (reactive-anycast + superprefix, §4) -----------------------------
+
+// Combined layers proactive-superprefix under reactive-anycast. The paper
+// implemented it and found it faster only for the fastest ~20% of
+// failovers and much worse in the tail — an undesirable tradeoff kept here
+// for the ablation bench.
+type Combined struct{}
+
+// Name implements Technique.
+func (Combined) Name() string { return "combined" }
+
+// Setup is proactive-superprefix's setup.
+func (Combined) Setup(c *CDN) error { return ProactiveSuperprefix{}.Setup(c) }
+
+// OnSiteFailure is reactive-anycast's reaction.
+func (Combined) OnSiteFailure(c *CDN, failed *Site) error {
+	return ReactiveAnycast{}.OnSiteFailure(c, failed)
+}
+
+// OnSiteRecovery unwinds the reactive announcements and restores both
+// proactive layers.
+func (Combined) OnSiteRecovery(c *CDN, s *Site) error {
+	for _, other := range c.sites {
+		if other.Node != s.Node {
+			c.withdraw(other.Node, s.Prefix)
+		}
+	}
+	return ProactiveSuperprefix{}.OnSiteRecovery(c, s)
+}
+
+// SteerAddr returns the site's unicast service address.
+func (Combined) SteerAddr(_ *CDN, s *Site) netip.Addr { return s.Addr }
+
+// Tradeoffs: as reactive-anycast (high control, high risk); availability
+// measured medium-high (tail-heavy).
+func (Combined) Tradeoffs() Tradeoffs { return Tradeoffs{High, Medium, High} }
+
+// forget drops a tracked announcement without withdrawing (used after a
+// direct net.Withdraw).
+func (c *CDN) forget(node topology.NodeID, prefix netip.Prefix) {
+	kept := c.announced[:0]
+	for _, a := range c.announced {
+		if a.node == node && a.prefix == prefix {
+			continue
+		}
+		kept = append(kept, a)
+	}
+	c.announced = kept
+}
+
+// AllTechniques returns one instance of every technique at its paper
+// defaults, in the order used throughout the evaluation.
+func AllTechniques() []Technique {
+	return []Technique{
+		ProactiveSuperprefix{},
+		ReactiveAnycast{},
+		ProactivePrepending{Prepends: 3},
+		Anycast{},
+		Unicast{},
+		Combined{},
+	}
+}

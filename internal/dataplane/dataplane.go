@@ -1,0 +1,285 @@
+// Package dataplane simulates packet forwarding over the FIBs produced by
+// the BGP layer.
+//
+// Every node keeps a longest-prefix-match FIB that tracks its BGP loc-RIB
+// in real time. Packets are forwarded hop by hop through these FIBs, so a
+// packet in flight during route convergence experiences exactly the
+// pathologies the paper measures: blackholes at routers whose best route was
+// withdrawn, transient forwarding loops during path exploration, and
+// deliveries to different CDN sites as catchments shift.
+//
+// The prober reproduces the paper's Verfploeter-style methodology (§5.2):
+// echo requests are sent from a healthy site with a source address inside
+// the prefix under study, and the replies are routed by the live FIBs to
+// whichever site currently attracts that prefix, where a capture log
+// records them.
+package dataplane
+
+import (
+	"fmt"
+	"net/netip"
+
+	"bestofboth/internal/bgp"
+	"bestofboth/internal/iptrie"
+	"bestofboth/internal/netsim"
+	"bestofboth/internal/topology"
+)
+
+// MaxHops bounds forwarding walks, standing in for the IP TTL.
+const MaxHops = 64
+
+// fibEntry is one FIB slot: either local delivery or a next hop.
+type fibEntry struct {
+	local bool
+	next  topology.NodeID
+	delay float64 // one-way link delay to next, seconds
+}
+
+// DropReason explains why a packet was not delivered.
+type DropReason int8
+
+const (
+	// DropNone means the packet was delivered.
+	DropNone DropReason = iota
+	// DropNoRoute means some router had no FIB entry for the destination.
+	DropNoRoute
+	// DropLoop means the packet exceeded MaxHops (forwarding loop).
+	DropLoop
+	// DropNodeDown means the packet reached a failed node.
+	DropNodeDown
+)
+
+// String names the drop reason.
+func (d DropReason) String() string {
+	switch d {
+	case DropNone:
+		return "delivered"
+	case DropNoRoute:
+		return "no-route"
+	case DropLoop:
+		return "loop"
+	case DropNodeDown:
+		return "node-down"
+	default:
+		return fmt.Sprintf("DropReason(%d)", int8(d))
+	}
+}
+
+// ForwardResult describes one forwarding walk.
+type ForwardResult struct {
+	Delivered bool
+	Reason    DropReason
+	// Dest is the node that locally delivered the packet (valid when
+	// Delivered).
+	Dest topology.NodeID
+	// Delay is the accumulated one-way latency in seconds over the hops
+	// actually traversed.
+	Delay float64
+	// Path lists the nodes traversed, starting at the source.
+	Path []topology.NodeID
+}
+
+// Plane is the data plane bound to a BGP network. Create it before any
+// routes are originated so no FIB updates are missed.
+type Plane struct {
+	net  *bgp.Network
+	topo *topology.Topology
+	sim  *netsim.Sim
+	fibs []*iptrie.Trie[fibEntry]
+	down []bool
+
+	// static shortest-path delay cache per source node (seconds).
+	staticDelay map[topology.NodeID][]float64
+}
+
+// New builds the data plane and subscribes to FIB updates.
+func New(net *bgp.Network) *Plane {
+	topo := net.Topology()
+	p := &Plane{
+		net:         net,
+		topo:        topo,
+		sim:         net.Sim(),
+		fibs:        make([]*iptrie.Trie[fibEntry], topo.Len()),
+		down:        make([]bool, topo.Len()),
+		staticDelay: make(map[topology.NodeID][]float64),
+	}
+	for i := range p.fibs {
+		p.fibs[i] = iptrie.New[fibEntry]()
+	}
+	net.OnBestChange(p.onBestChange)
+	return p
+}
+
+func (p *Plane) onBestChange(node topology.NodeID, prefix netip.Prefix, route *bgp.Route) {
+	fib := p.fibs[node]
+	if route == nil {
+		fib.Delete(prefix)
+		return
+	}
+	sess := route.LearnedFrom()
+	if sess < 0 {
+		fib.Insert(prefix, fibEntry{local: true})
+		return
+	}
+	adj := p.topo.Node(node).Adj[sess]
+	fib.Insert(prefix, fibEntry{next: adj.To, delay: adj.Delay})
+}
+
+// SetDown marks a node as failed (true) or healthy (false). Packets
+// reaching a failed node are dropped; its FIB remains intact so the control
+// plane model (explicit withdrawals) stays in charge of route removal,
+// matching how the paper emulates failures by withdrawing announcements.
+func (p *Plane) SetDown(node topology.NodeID, down bool) {
+	p.down[node] = down
+}
+
+// IsDown reports the failure flag of a node.
+func (p *Plane) IsDown(node topology.NodeID) bool { return p.down[node] }
+
+// Forward walks a packet from src toward dst through the current FIBs.
+func (p *Plane) Forward(src topology.NodeID, dst netip.Addr) ForwardResult {
+	res := ForwardResult{Path: make([]topology.NodeID, 0, 8)}
+	cur := src
+	for hops := 0; hops <= MaxHops; hops++ {
+		res.Path = append(res.Path, cur)
+		if p.down[cur] {
+			res.Reason = DropNodeDown
+			return res
+		}
+		_, entry, ok := p.fibs[cur].Lookup(dst)
+		if !ok {
+			res.Reason = DropNoRoute
+			return res
+		}
+		if entry.local {
+			res.Delivered = true
+			res.Dest = cur
+			return res
+		}
+		res.Delay += entry.delay
+		cur = entry.next
+	}
+	res.Reason = DropLoop
+	return res
+}
+
+// Catchment returns the site/origin node that currently attracts traffic
+// from src toward addr, or ok=false if src cannot reach it.
+func (p *Plane) Catchment(src topology.NodeID, addr netip.Addr) (topology.NodeID, bool) {
+	res := p.Forward(src, addr)
+	if !res.Delivered {
+		return 0, false
+	}
+	return res.Dest, true
+}
+
+// StaticDelay returns the one-way shortest-path latency between two nodes
+// over link delays, ignoring routing policy. It models the stable forward
+// direction (CDN site → probe target), which the paper's failure
+// experiments do not perturb.
+func (p *Plane) StaticDelay(from, to topology.NodeID) float64 {
+	d, ok := p.staticDelay[from]
+	if !ok {
+		d = p.dijkstra(from)
+		p.staticDelay[from] = d
+	}
+	return d[to]
+}
+
+func (p *Plane) dijkstra(src topology.NodeID) []float64 {
+	const inf = 1e18
+	dist := make([]float64, p.topo.Len())
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	// Simple binary-heap Dijkstra over the undirected latency graph.
+	h := &delayHeap{items: []delayItem{{node: src, d: 0}}}
+	for h.Len() > 0 {
+		it := h.pop()
+		if it.d > dist[it.node] {
+			continue
+		}
+		for _, adj := range p.topo.Node(it.node).Adj {
+			nd := it.d + adj.Delay
+			if nd < dist[adj.To] {
+				dist[adj.To] = nd
+				h.push(delayItem{node: adj.To, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type delayItem struct {
+	node topology.NodeID
+	d    float64
+}
+
+type delayHeap struct{ items []delayItem }
+
+func (h *delayHeap) Len() int { return len(h.items) }
+func (h *delayHeap) push(it delayItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].d <= h.items[i].d {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+func (h *delayHeap) pop() delayItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.items) && h.items[l].d < h.items[small].d {
+			small = l
+		}
+		if r < len(h.items) && h.items[r].d < h.items[small].d {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}
+
+// Hop is one step of a Traceroute: the node reached and the cumulative
+// round-trip latency to it (assuming symmetric per-hop delays, as
+// traceroute does).
+type Hop struct {
+	Node topology.NodeID
+	RTT  float64
+}
+
+// Traceroute walks a packet like Forward but reports per-hop cumulative
+// RTTs, the analogue of the measured paths Appendix C.1 reasons over.
+func (p *Plane) Traceroute(src topology.NodeID, dst netip.Addr) ([]Hop, ForwardResult) {
+	res := p.Forward(src, dst)
+	hops := make([]Hop, 0, len(res.Path))
+	var acc float64
+	for i, node := range res.Path {
+		if i > 0 {
+			prev := p.topo.Node(res.Path[i-1])
+			for _, adj := range prev.Adj {
+				if adj.To == node {
+					acc += adj.Delay
+					break
+				}
+			}
+		}
+		hops = append(hops, Hop{Node: node, RTT: 2 * acc})
+	}
+	return hops, res
+}

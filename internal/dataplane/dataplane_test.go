@@ -1,0 +1,379 @@
+package dataplane
+
+import (
+	"net/netip"
+	"testing"
+
+	"bestofboth/internal/bgp"
+	"bestofboth/internal/netsim"
+	"bestofboth/internal/topology"
+)
+
+var (
+	prefixA = netip.MustParsePrefix("184.164.244.0/24")
+	superP  = netip.MustParsePrefix("184.164.244.0/23")
+	addrA   = netip.MustParseAddr("184.164.244.10")
+	addrSup = netip.MustParseAddr("184.164.245.10")
+)
+
+func cfg() bgp.Config {
+	return bgp.Config{MRAI: 30, MRAIJitter: 0.2, ProcMin: 0.01, ProcMax: 0.05}
+}
+
+// twoSite builds:
+//
+//	T1 ---- T2        (tier-1 peers)
+//	 |        \
+//	S1 (site)  S2 (site)      S1, S2 customers of T1, T2 respectively
+//	 |
+//	 C  (client stub, customer of T1)
+func twoSite(t *testing.T) (*topology.Topology, map[string]topology.NodeID) {
+	t.Helper()
+	b := topology.NewBuilder()
+	ids := map[string]topology.NodeID{}
+	ids["t1"] = b.AddNode(10, "t1", topology.ClassTier1, topology.Point{})
+	ids["t2"] = b.AddNode(11, "t2", topology.ClassTier1, topology.Point{X: 5})
+	ids["s1"] = b.AddNode(47065, "s1", topology.ClassCDN, topology.Point{Y: 2})
+	ids["s2"] = b.AddNode(47065, "s2", topology.ClassCDN, topology.Point{X: 5, Y: 2})
+	ids["c"] = b.AddNode(30, "c", topology.ClassStub, topology.Point{Y: 4})
+	b.Link(ids["t1"], ids["t2"], topology.RelPeer, 0.005)
+	b.Link(ids["s1"], ids["t1"], topology.RelProvider, 0.002)
+	b.Link(ids["s2"], ids["t2"], topology.RelProvider, 0.002)
+	b.Link(ids["c"], ids["t1"], topology.RelProvider, 0.002)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, ids
+}
+
+func TestForwardDeliversToOrigin(t *testing.T) {
+	topo, ids := twoSite(t)
+	sim := netsim.New(1)
+	net := bgp.New(sim, topo, cfg())
+	plane := New(net)
+	net.Originate(ids["s1"], prefixA, nil)
+	sim.Run()
+
+	res := plane.Forward(ids["c"], addrA)
+	if !res.Delivered || res.Dest != ids["s1"] {
+		t.Fatalf("Forward = %+v, want delivery at s1", res)
+	}
+	if len(res.Path) != 3 { // c -> t1 -> s1
+		t.Fatalf("path = %v, want 3 hops", res.Path)
+	}
+	if res.Delay <= 0 || res.Delay > 0.1 {
+		t.Fatalf("delay = %v out of range", res.Delay)
+	}
+}
+
+func TestForwardNoRoute(t *testing.T) {
+	topo, ids := twoSite(t)
+	sim := netsim.New(1)
+	net := bgp.New(sim, topo, cfg())
+	plane := New(net)
+	sim.Run()
+	res := plane.Forward(ids["c"], addrA)
+	if res.Delivered || res.Reason != DropNoRoute {
+		t.Fatalf("Forward = %+v, want no-route", res)
+	}
+}
+
+func TestDownNodeDropsPackets(t *testing.T) {
+	topo, ids := twoSite(t)
+	sim := netsim.New(1)
+	net := bgp.New(sim, topo, cfg())
+	plane := New(net)
+	net.Originate(ids["s1"], prefixA, nil)
+	sim.Run()
+
+	plane.SetDown(ids["s1"], true)
+	res := plane.Forward(ids["c"], addrA)
+	if res.Delivered || res.Reason != DropNodeDown {
+		t.Fatalf("Forward = %+v, want node-down drop", res)
+	}
+	plane.SetDown(ids["s1"], false)
+	if !plane.Forward(ids["c"], addrA).Delivered {
+		t.Fatal("recovery did not restore delivery")
+	}
+	if plane.IsDown(ids["s1"]) {
+		t.Fatal("IsDown stale")
+	}
+}
+
+func TestSuperprefixFallback(t *testing.T) {
+	// s1 announces the /24, s2 the covering /23. While the /24 exists,
+	// traffic goes to s1; after it is withdrawn and converges, the /23
+	// carries traffic to s2 — the proactive-superprefix mechanism.
+	topo, ids := twoSite(t)
+	sim := netsim.New(1)
+	net := bgp.New(sim, topo, cfg())
+	plane := New(net)
+	net.Originate(ids["s1"], prefixA, nil)
+	net.Originate(ids["s2"], superP, nil)
+	sim.Run()
+
+	if res := plane.Forward(ids["c"], addrA); !res.Delivered || res.Dest != ids["s1"] {
+		t.Fatalf("specific prefix should win: %+v", res)
+	}
+	// An address only covered by the superprefix goes to s2 already.
+	if res := plane.Forward(ids["c"], addrSup); !res.Delivered || res.Dest != ids["s2"] {
+		t.Fatalf("superprefix address should reach s2: %+v", res)
+	}
+
+	net.Withdraw(ids["s1"], prefixA)
+	sim.Run()
+	if res := plane.Forward(ids["c"], addrA); !res.Delivered || res.Dest != ids["s2"] {
+		t.Fatalf("after withdrawal traffic should fall back to s2: %+v", res)
+	}
+}
+
+func TestCatchmentAnycast(t *testing.T) {
+	topo, ids := twoSite(t)
+	sim := netsim.New(1)
+	net := bgp.New(sim, topo, cfg())
+	plane := New(net)
+	net.Originate(ids["s1"], prefixA, nil)
+	net.Originate(ids["s2"], prefixA, nil)
+	sim.Run()
+
+	// c is customer of t1; t1 hears [47065] from customer s1 (1 hop) and
+	// [t2 47065] via peer; customer route wins, so c lands on s1.
+	site, ok := plane.Catchment(ids["c"], addrA)
+	if !ok || site != ids["s1"] {
+		t.Fatalf("catchment = %d, %v; want s1", site, ok)
+	}
+}
+
+func TestStaticDelaySymmetricAndPositive(t *testing.T) {
+	topo, ids := twoSite(t)
+	sim := netsim.New(1)
+	net := bgp.New(sim, topo, cfg())
+	plane := New(net)
+	d1 := plane.StaticDelay(ids["c"], ids["s2"])
+	d2 := plane.StaticDelay(ids["s2"], ids["c"])
+	if d1 <= 0 || d1 != d2 {
+		t.Fatalf("static delay asymmetric: %v vs %v", d1, d2)
+	}
+	// c -> t1 -> t2 -> s2 = 0.002+0.005+0.002
+	want := 0.009
+	if diff := d1 - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("static delay = %v, want %v", d1, want)
+	}
+	if d := plane.StaticDelay(ids["c"], ids["c"]); d != 0 {
+		t.Fatalf("self delay = %v", d)
+	}
+}
+
+func TestProberCapturesReplies(t *testing.T) {
+	topo, ids := twoSite(t)
+	sim := netsim.New(1)
+	net := bgp.New(sim, topo, cfg())
+	plane := New(net)
+	net.Originate(ids["s1"], prefixA, nil)
+	sim.Run()
+
+	pr := NewProber(plane, ids["s2"], addrA)
+	pr.Ping(ids["c"])
+	sim.Run()
+
+	if pr.Capture.Len() != 1 {
+		t.Fatalf("capture has %d entries, want 1", pr.Capture.Len())
+	}
+	e := pr.Capture.Entries()[0]
+	if e.Site != ids["s1"] || e.Target != ids["c"] || e.Seq != 1 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.Time <= 0 {
+		t.Fatal("entry time not positive")
+	}
+}
+
+func TestProberLostReplyNotCaptured(t *testing.T) {
+	topo, ids := twoSite(t)
+	sim := netsim.New(1)
+	net := bgp.New(sim, topo, cfg())
+	plane := New(net)
+	// No announcement: replies have no route.
+	pr := NewProber(plane, ids["s2"], addrA)
+	pr.Ping(ids["c"])
+	sim.Run()
+	if pr.Capture.Len() != 0 {
+		t.Fatalf("capture has %d entries, want 0", pr.Capture.Len())
+	}
+}
+
+func TestPingEveryCadence(t *testing.T) {
+	topo, ids := twoSite(t)
+	sim := netsim.New(1)
+	net := bgp.New(sim, topo, cfg())
+	plane := New(net)
+	net.Originate(ids["s1"], prefixA, nil)
+	sim.Run()
+
+	pr := NewProber(plane, ids["s2"], addrA)
+	pr.PingEvery(ids["c"], 1.5, 15)
+	sim.Run()
+	// 15/1.5 = 10 pings (t=0..13.5).
+	if got := pr.Capture.Len(); got != 10 {
+		t.Fatalf("captured %d replies, want 10", got)
+	}
+	es := pr.Capture.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i].Time <= es[i-1].Time {
+			t.Fatal("capture not time ordered")
+		}
+		if es[i].Seq != es[i-1].Seq+1 {
+			t.Fatal("sequence numbers not consecutive")
+		}
+	}
+}
+
+func TestRTTMatchesPaths(t *testing.T) {
+	topo, ids := twoSite(t)
+	sim := netsim.New(1)
+	net := bgp.New(sim, topo, cfg())
+	plane := New(net)
+	net.Originate(ids["s1"], prefixA, nil)
+	sim.Run()
+
+	pr := NewProber(plane, ids["s1"], addrA)
+	rtt, ok := pr.RTT(ids["c"])
+	if !ok {
+		t.Fatal("RTT not measurable")
+	}
+	// forward c<-s1: 0.004 static; reverse c->t1->s1: 0.004.
+	want := 0.008
+	if diff := rtt - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("rtt = %v, want %v", rtt, want)
+	}
+}
+
+func TestCaptureByTarget(t *testing.T) {
+	c := &Capture{}
+	c.Add(CaptureEntry{Time: 2, Target: 1, Seq: 2})
+	c.Add(CaptureEntry{Time: 1, Target: 1, Seq: 1})
+	c.Add(CaptureEntry{Time: 3, Target: 2, Seq: 3})
+	by := c.ByTarget()
+	if len(by) != 2 || len(by[1]) != 2 || len(by[2]) != 1 {
+		t.Fatalf("ByTarget = %v", by)
+	}
+	if by[1][0].Time != 1 {
+		t.Fatal("ByTarget not sorted by time")
+	}
+}
+
+func TestDropReasonStrings(t *testing.T) {
+	for d, want := range map[DropReason]string{
+		DropNone: "delivered", DropNoRoute: "no-route", DropLoop: "loop", DropNodeDown: "node-down",
+	} {
+		if d.String() != want {
+			t.Fatalf("%d.String() = %q", d, d.String())
+		}
+	}
+}
+
+// TestTransientBlackholeDuringWithdrawalConvergence exercises the §3
+// mechanism: during unicast withdrawal convergence with a superprefix
+// backup, some replies are lost or misrouted before converging onto the
+// covering prefix.
+func TestTransientBlackholeDuringWithdrawalConvergence(t *testing.T) {
+	topo, ids := twoSite(t)
+	sim := netsim.New(7)
+	net := bgp.New(sim, topo, cfg())
+	plane := New(net)
+	net.Originate(ids["s1"], prefixA, nil)
+	net.Originate(ids["s2"], superP, nil)
+	sim.Run()
+
+	pr := NewProber(plane, ids["s2"], addrA)
+	plane.SetDown(ids["s1"], true)
+	net.Withdraw(ids["s1"], prefixA)
+	pr.PingEvery(ids["c"], 1.5, 60)
+	sim.Run()
+
+	// All captured replies must have landed at s2 (s1 is down), and the
+	// first capture must come after the withdrawal reached t1.
+	for _, e := range pr.Capture.Entries() {
+		if e.Site != ids["s2"] {
+			t.Fatalf("reply captured at %d while s1 down", e.Site)
+		}
+	}
+	if pr.Capture.Len() == 0 {
+		t.Fatal("no replies ever reached s2; superprefix fallback broken")
+	}
+}
+
+func TestProberLossRate(t *testing.T) {
+	topo, ids := twoSite(t)
+	sim := netsim.New(9)
+	net := bgp.New(sim, topo, cfg())
+	plane := New(net)
+	net.Originate(ids["s1"], prefixA, nil)
+	sim.Run()
+
+	pr := NewProber(plane, ids["s2"], addrA)
+	pr.LossRate = 0.3
+	const n = 2000
+	for i := 0; i < n; i++ {
+		pr.Ping(ids["c"])
+	}
+	sim.Run()
+	got := pr.Capture.Len()
+	// Request and reply each dropped at 30%: delivery ≈ 0.49.
+	if got < n*40/100 || got > n*58/100 {
+		t.Fatalf("captured %d/%d with 30%% bidirectional loss, want ≈49%%", got, n)
+	}
+	if len(pr.Sent) != n {
+		t.Fatalf("sent log has %d entries, want %d", len(pr.Sent), n)
+	}
+}
+
+func TestProberZeroLossCapturesAll(t *testing.T) {
+	topo, ids := twoSite(t)
+	sim := netsim.New(10)
+	net := bgp.New(sim, topo, cfg())
+	plane := New(net)
+	net.Originate(ids["s1"], prefixA, nil)
+	sim.Run()
+	pr := NewProber(plane, ids["s2"], addrA)
+	for i := 0; i < 100; i++ {
+		pr.Ping(ids["c"])
+	}
+	sim.Run()
+	if pr.Capture.Len() != 100 {
+		t.Fatalf("lost replies with zero loss rate: %d/100", pr.Capture.Len())
+	}
+}
+
+func TestTraceroutePerHopRTT(t *testing.T) {
+	topo, ids := twoSite(t)
+	sim := netsim.New(11)
+	net := bgp.New(sim, topo, cfg())
+	plane := New(net)
+	net.Originate(ids["s1"], prefixA, nil)
+	sim.Run()
+
+	hops, res := plane.Traceroute(ids["c"], addrA)
+	if !res.Delivered {
+		t.Fatalf("traceroute failed: %+v", res)
+	}
+	// c -> t1 -> s1: RTTs 0, 2*0.002, 2*0.004.
+	if len(hops) != 3 {
+		t.Fatalf("got %d hops", len(hops))
+	}
+	if hops[0].RTT != 0 {
+		t.Fatalf("first hop RTT = %v", hops[0].RTT)
+	}
+	want := []float64{0, 0.004, 0.008}
+	for i, h := range hops {
+		if diff := h.RTT - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("hop %d RTT = %v, want %v", i, h.RTT, want[i])
+		}
+	}
+	for i := 1; i < len(hops); i++ {
+		if hops[i].RTT < hops[i-1].RTT {
+			t.Fatal("RTTs not monotone")
+		}
+	}
+}

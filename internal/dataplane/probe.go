@@ -1,0 +1,145 @@
+package dataplane
+
+import (
+	"net/netip"
+	"sort"
+
+	"bestofboth/internal/topology"
+)
+
+// CaptureEntry records one echo reply arriving at a capture point, like a
+// line in the per-site tcpdump the paper runs during failover experiments.
+type CaptureEntry struct {
+	Time   float64 // virtual arrival time
+	Seq    uint64
+	Target topology.NodeID // the target that sent the reply
+	Site   topology.NodeID // the node where the reply arrived
+}
+
+// Capture accumulates echo replies across all sites for one experiment.
+type Capture struct {
+	entries []CaptureEntry
+}
+
+// Add appends an entry. Entries arrive in event order, which is time order.
+func (c *Capture) Add(e CaptureEntry) { c.entries = append(c.entries, e) }
+
+// Entries returns all recorded entries in arrival order.
+func (c *Capture) Entries() []CaptureEntry { return c.entries }
+
+// ByTarget groups entries per target, each group sorted by time.
+func (c *Capture) ByTarget() map[topology.NodeID][]CaptureEntry {
+	out := make(map[topology.NodeID][]CaptureEntry)
+	for _, e := range c.entries {
+		out[e.Target] = append(out[e.Target], e)
+	}
+	for _, es := range out {
+		sort.Slice(es, func(i, j int) bool { return es[i].Time < es[j].Time })
+	}
+	return out
+}
+
+// Len returns the number of captured replies.
+func (c *Capture) Len() int { return len(c.entries) }
+
+// Prober issues Verfploeter-style echo requests: probes are sent from a
+// prober node with a spoofed source address inside the prefix under study,
+// so replies reveal which site that prefix currently routes to from each
+// target (§5.2).
+type Prober struct {
+	plane *Plane
+	// From is the node probes are emitted from (a healthy CDN site).
+	From topology.NodeID
+	// ReplyTo is the source address carried in requests; targets address
+	// replies to it.
+	ReplyTo netip.Addr
+	// Capture receives delivered replies.
+	Capture *Capture
+	// Sent logs every request in emission order; comparing it against
+	// Capture reveals lost replies (the "missing sequence numbers" of
+	// §5.2).
+	Sent []SentRecord
+	// LossRate drops each request or reply independently with this
+	// probability, modeling random loss and ICMP rate limiting (the §5.3
+	// concern); draws come from the simulation RNG so runs stay
+	// deterministic.
+	LossRate float64
+	seq      uint64
+}
+
+// SentRecord logs one emitted echo request.
+type SentRecord struct {
+	Seq    uint64
+	Target topology.NodeID
+	Time   float64
+}
+
+// NewProber builds a prober bound to a plane.
+func NewProber(plane *Plane, from topology.NodeID, replyTo netip.Addr) *Prober {
+	return &Prober{plane: plane, From: from, ReplyTo: replyTo, Capture: &Capture{}}
+}
+
+// Ping sends one echo request to target now. The request travels the stable
+// forward path (static latency); the reply is routed by the live FIBs at
+// reply time. Lost replies produce no capture entry, mirroring a missing
+// sequence number in the paper's traces. It returns the sequence number
+// used.
+func (p *Prober) Ping(target topology.NodeID) uint64 {
+	p.seq++
+	seq := p.seq
+	fwd := p.plane.StaticDelay(p.From, target)
+	sim := p.plane.sim
+	p.Sent = append(p.Sent, SentRecord{Seq: seq, Target: target, Time: sim.Now()})
+	if p.LossRate > 0 && sim.Rand().Float64() < p.LossRate {
+		return seq // request lost in flight
+	}
+	sim.After(fwd, func() {
+		// The target emits the reply; route it through the FIBs as they
+		// stand at this moment.
+		if p.LossRate > 0 && sim.Rand().Float64() < p.LossRate {
+			return // reply lost (or rate-limited at the target)
+		}
+		res := p.plane.Forward(target, p.ReplyTo)
+		if !res.Delivered {
+			return
+		}
+		sim.After(res.Delay, func() {
+			p.Capture.Add(CaptureEntry{
+				Time:   sim.Now(),
+				Seq:    seq,
+				Target: target,
+				Site:   res.Dest,
+			})
+		})
+	})
+	return seq
+}
+
+// PingEvery schedules pings to target at the given interval until deadline
+// (inclusive start, exclusive deadline), matching the paper's ~1.5 s probing
+// cadence for ~600 s after a failure.
+func (p *Prober) PingEvery(target topology.NodeID, interval, duration float64) {
+	sim := p.plane.sim
+	deadline := sim.Now() + duration
+	var tick func()
+	tick = func() {
+		if sim.Now() >= deadline {
+			return
+		}
+		p.Ping(target)
+		sim.After(interval, tick)
+	}
+	tick()
+}
+
+// RTT measures the current round-trip time from the prober's site to the
+// target and back to ReplyTo, returning ok=false if the reply path is
+// broken. It inspects FIBs instantaneously (no events), which is how the
+// harness computes the ≤50 ms site-proximity filter of §5.1.
+func (p *Prober) RTT(target topology.NodeID) (float64, bool) {
+	res := p.plane.Forward(target, p.ReplyTo)
+	if !res.Delivered {
+		return 0, false
+	}
+	return p.plane.StaticDelay(p.From, target) + res.Delay, true
+}

@@ -1,0 +1,312 @@
+package dns
+
+import (
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"testing"
+)
+
+var (
+	siteA = netip.MustParseAddr("184.164.240.10")
+	siteB = netip.MustParseAddr("184.164.241.10")
+)
+
+func newAuthWithRecord(t *testing.T) *Authoritative {
+	t.Helper()
+	auth := NewAuthoritative("cdn.example.")
+	if err := auth.SetA("www", 600, siteA); err != nil {
+		t.Fatal(err)
+	}
+	return auth
+}
+
+func TestAuthoritativeAnswersA(t *testing.T) {
+	auth := newAuthWithRecord(t)
+	q := &Message{Header: Header{ID: 7}, Question: []Question{{Name: "www.cdn.example.", Type: TypeA}}}
+	resp := auth.Answer(q)
+	if resp.Header.RCode != RCodeNoError || !resp.Header.Authoritative || !resp.Header.Response {
+		t.Fatalf("header = %+v", resp.Header)
+	}
+	if len(resp.Answer) != 1 || resp.Answer[0].A != siteA {
+		t.Fatalf("answer = %+v", resp.Answer)
+	}
+	if resp.Header.ID != 7 {
+		t.Fatal("response ID mismatch")
+	}
+}
+
+func TestAuthoritativeNXDomain(t *testing.T) {
+	auth := newAuthWithRecord(t)
+	q := &Message{Question: []Question{{Name: "missing.cdn.example.", Type: TypeA}}}
+	resp := auth.Answer(q)
+	if resp.Header.RCode != RCodeNXDomain {
+		t.Fatalf("rcode = %v, want NXDOMAIN", resp.Header.RCode)
+	}
+	if len(resp.Authority) != 1 || resp.Authority[0].Type != TypeSOA {
+		t.Fatal("NXDOMAIN lacks SOA in authority")
+	}
+}
+
+func TestAuthoritativeRefusesOutOfZone(t *testing.T) {
+	auth := newAuthWithRecord(t)
+	q := &Message{Question: []Question{{Name: "www.other.example.", Type: TypeA}}}
+	if resp := auth.Answer(q); resp.Header.RCode != RCodeRefused {
+		t.Fatalf("rcode = %v, want REFUSED", resp.Header.RCode)
+	}
+}
+
+func TestAuthoritativeRejectsOutOfZoneSet(t *testing.T) {
+	auth := NewAuthoritative("cdn.example.")
+	if err := auth.SetA("www.other.example.", 60, siteA); err == nil {
+		t.Fatal("out-of-zone SetA accepted")
+	}
+	if err := auth.SetA("www", 60, netip.MustParseAddr("2001:db8::1")); err == nil {
+		t.Fatal("IPv6 SetA accepted")
+	}
+}
+
+func TestSetARemoveABumpSerial(t *testing.T) {
+	auth := newAuthWithRecord(t)
+	s0 := auth.Serial()
+	auth.SetA("www", 600, siteB)
+	if auth.Serial() <= s0 {
+		t.Fatal("SetA did not bump serial")
+	}
+	s1 := auth.Serial()
+	auth.RemoveA("www")
+	if auth.Serial() <= s1 {
+		t.Fatal("RemoveA did not bump serial")
+	}
+	auth.RemoveA("www") // absent: no bump
+	if auth.Serial() != s1+1 {
+		t.Fatal("RemoveA of absent name bumped serial")
+	}
+	if names := auth.Names(); len(names) != 0 {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestNSAndSOAQueries(t *testing.T) {
+	auth := newAuthWithRecord(t)
+	q := &Message{Question: []Question{{Name: "cdn.example.", Type: TypeNS}}}
+	resp := auth.Answer(q)
+	if len(resp.Answer) != 2 {
+		t.Fatalf("NS answer = %+v", resp.Answer)
+	}
+	q = &Message{Question: []Question{{Name: "cdn.example.", Type: TypeSOA}}}
+	resp = auth.Answer(q)
+	if len(resp.Answer) != 1 || resp.Answer[0].SOA == nil {
+		t.Fatalf("SOA answer = %+v", resp.Answer)
+	}
+}
+
+func TestHandleQueryMalformed(t *testing.T) {
+	auth := newAuthWithRecord(t)
+	out, err := auth.HandleQuery([]byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := Decode(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != RCodeFormErr {
+		t.Fatalf("rcode = %v, want FORMERR", resp.Header.RCode)
+	}
+}
+
+func TestResolverCachesWithinTTL(t *testing.T) {
+	auth := newAuthWithRecord(t)
+	r := NewResolver(auth)
+	addrs, ttl, err := r.Resolve(0, "www.cdn.example")
+	if err != nil || len(addrs) != 1 || addrs[0] != siteA {
+		t.Fatalf("resolve = %v %v %v", addrs, ttl, err)
+	}
+	if ttl != 600 {
+		t.Fatalf("ttl = %v", ttl)
+	}
+	// Record changes at the authoritative, but the cache still serves the
+	// old answer until expiry.
+	auth.SetA("www", 600, siteB)
+	addrs, rem, err := r.Resolve(300, "www.cdn.example")
+	if err != nil || addrs[0] != siteA {
+		t.Fatalf("cached resolve = %v, %v", addrs, err)
+	}
+	if math.Abs(rem-300) > 1e-9 {
+		t.Fatalf("remaining ttl = %v, want 300", rem)
+	}
+	if r.UpstreamQueries != 1 {
+		t.Fatalf("upstream queries = %d, want 1", r.UpstreamQueries)
+	}
+	// Past expiry, the resolver refetches and sees the new record.
+	addrs, _, err = r.Resolve(601, "www.cdn.example")
+	if err != nil || addrs[0] != siteB {
+		t.Fatalf("post-expiry resolve = %v, %v", addrs, err)
+	}
+	if r.UpstreamQueries != 2 {
+		t.Fatalf("upstream queries = %d, want 2", r.UpstreamQueries)
+	}
+}
+
+func TestResolverFlush(t *testing.T) {
+	auth := newAuthWithRecord(t)
+	r := NewResolver(auth)
+	r.Resolve(0, "www.cdn.example")
+	auth.SetA("www", 600, siteB)
+	r.Flush()
+	addrs, _, _ := r.Resolve(1, "www.cdn.example")
+	if addrs[0] != siteB {
+		t.Fatal("flush did not clear cache")
+	}
+}
+
+func TestResolverNXDomain(t *testing.T) {
+	auth := newAuthWithRecord(t)
+	r := NewResolver(auth)
+	if _, _, err := r.Resolve(0, "nope.cdn.example"); err != ErrNoSuchName {
+		t.Fatalf("err = %v, want ErrNoSuchName", err)
+	}
+}
+
+func TestClientHonorsTTL(t *testing.T) {
+	auth := newAuthWithRecord(t)
+	r := NewResolver(auth)
+	c := NewClient(r, "www.cdn.example", 1, ViolationModel{}) // never violates
+	a, err := c.Addr(0)
+	if err != nil || a != siteA {
+		t.Fatalf("addr = %v, %v", a, err)
+	}
+	auth.SetA("www", 600, siteB)
+	r.Flush() // resolver sees the update; client cache still valid
+	if a, _ := c.Addr(599); a != siteA {
+		t.Fatal("client refetched before TTL expiry")
+	}
+	if a, _ := c.Addr(600); a != siteB {
+		t.Fatal("client did not refetch after TTL expiry")
+	}
+	if c.Resolutions != 2 {
+		t.Fatalf("resolutions = %d, want 2", c.Resolutions)
+	}
+}
+
+func TestClientViolationKeepsStaleRecord(t *testing.T) {
+	auth := newAuthWithRecord(t)
+	r := NewResolver(auth)
+	// Always violate with ~fixed overrun.
+	c := NewClient(r, "www.cdn.example", 2, ViolationModel{Prob: 1, MedianExtra: 890, Sigma: 0.0001})
+	c.Addr(0)
+	auth.SetA("www", 600, siteB)
+	r.Flush()
+	// At 700 s (past 600 s TTL) the violating client still uses the stale
+	// record.
+	if a, _ := c.Addr(700); a != siteA {
+		t.Fatal("violating client refetched at TTL expiry")
+	}
+	ttlExp, useExp, ok := c.Expiry()
+	if !ok || ttlExp != 600 {
+		t.Fatalf("Expiry = %v %v %v", ttlExp, useExp, ok)
+	}
+	if useExp < 1400 || useExp > 1600 {
+		t.Fatalf("usage expiry = %v, want ≈1490", useExp)
+	}
+	if a, _ := c.Addr(useExp + 1); a != siteB {
+		t.Fatal("client never dropped the stale record")
+	}
+}
+
+func TestViolationModelDistribution(t *testing.T) {
+	v := DefaultViolationModel()
+	rng := rand.New(rand.NewSource(3))
+	n := 20000
+	var extras []float64
+	violations := 0
+	for i := 0; i < n; i++ {
+		e := v.SampleExtra(rng)
+		if e > 0 {
+			violations++
+			extras = append(extras, e)
+		}
+	}
+	frac := float64(violations) / float64(n)
+	if frac < 0.09 || frac > 0.13 {
+		t.Fatalf("violation fraction = %v, want ≈0.11", frac)
+	}
+	sort.Float64s(extras)
+	median := extras[len(extras)/2]
+	if median < 700 || median > 1100 {
+		t.Fatalf("median extra = %v, want ≈890", median)
+	}
+}
+
+func TestViolationModelZeroProb(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := ViolationModel{Prob: 0, MedianExtra: 890, Sigma: 1}
+	for i := 0; i < 100; i++ {
+		if v.SampleExtra(rng) != 0 {
+			t.Fatal("zero-probability model produced a violation")
+		}
+	}
+}
+
+func TestClientSurvivesResolverFailure(t *testing.T) {
+	auth := newAuthWithRecord(t)
+	r := NewResolver(auth)
+	c := NewClient(r, "www.cdn.example", 4, ViolationModel{})
+	c.Addr(0)
+	auth.RemoveA("www")
+	// After expiry the refetch fails; client keeps the stale answer rather
+	// than erroring.
+	if a, err := c.Addr(700); err != nil || a != siteA {
+		t.Fatalf("addr after upstream loss = %v, %v", a, err)
+	}
+	// A fresh client with no cache must error.
+	c2 := NewClient(r, "www.cdn.example", 5, ViolationModel{})
+	if _, err := c2.Addr(0); err == nil {
+		t.Fatal("fresh client resolved a removed name")
+	}
+}
+
+func TestClientPicksAmongMultipleRecords(t *testing.T) {
+	auth := NewAuthoritative("cdn.example.")
+	auth.SetA("www", 600, siteA, siteB)
+	r := NewResolver(auth)
+	c := NewClient(r, "www.cdn.example", 6, ViolationModel{})
+	seen := map[netip.Addr]bool{}
+	for i := 0; i < 50; i++ {
+		a, err := c.Addr(float64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[a] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("client used %d of 2 records", len(seen))
+	}
+}
+
+func TestNegativeCaching(t *testing.T) {
+	auth := newAuthWithRecord(t)
+	r := NewResolver(auth)
+	if _, _, err := r.Resolve(0, "missing.cdn.example"); err != ErrNoSuchName {
+		t.Fatalf("err = %v", err)
+	}
+	q0 := r.UpstreamQueries
+	// Within the SOA minimum (60 s), the miss is served from cache.
+	if _, _, err := r.Resolve(30, "missing.cdn.example"); err != ErrNoSuchName {
+		t.Fatalf("err = %v", err)
+	}
+	if r.UpstreamQueries != q0 {
+		t.Fatal("negative answer not cached")
+	}
+	// The name appearing later is visible after the negative TTL.
+	auth.SetA("missing", 600, siteA)
+	if _, _, err := r.Resolve(45, "missing.cdn.example"); err != ErrNoSuchName {
+		t.Fatal("negative cache expired early")
+	}
+	addrs, _, err := r.Resolve(61, "missing.cdn.example")
+	if err != nil || addrs[0] != siteA {
+		t.Fatalf("post-negative-TTL resolve = %v, %v", addrs, err)
+	}
+}

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"fmt"
+
+	"bestofboth/internal/core"
+	"bestofboth/internal/stats"
+)
+
+// Table1Row is one site column of the paper's Table 1.
+type Table1Row struct {
+	Site string
+	// Proximate is the number of targets within 50 ms of the site.
+	Proximate int
+	// NotAnycast is the fraction of proximate targets that pure anycast
+	// routes to a different site (Table 1, row 2).
+	NotAnycast float64
+	// Prepend3 / Prepend5 are, of those targets, the fraction that
+	// proactive-prepending steers to the site with 3 / 5 prepends
+	// (Table 1, rows 3-4).
+	Prepend3 float64
+	Prepend5 float64
+}
+
+// Table1 measures per-site traffic control (§5.4.2): how many nearby
+// targets anycast mis-routes, and how many of those proactive-prepending
+// recovers at each prepend depth.
+func Table1(cfg WorldConfig, sel *Selection) ([]Table1Row, error) {
+	steerable := func(prepends int) (map[string]float64, error) {
+		w, err := NewWorld(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.CDN.Deploy(core.ProactivePrepending{Prepends: prepends}); err != nil {
+			return nil, fmt.Errorf("experiment: deploying prepending-%d: %w", prepends, err)
+		}
+		w.Converge(3600)
+		out := map[string]float64{}
+		for _, s := range w.CDN.Sites() {
+			st := sel.ForSite(s.Code)
+			if st == nil || len(st.NotAnycast) == 0 {
+				out[s.Code] = 0
+				continue
+			}
+			n := 0
+			for _, id := range st.NotAnycast {
+				if w.CDN.CanSteer(id, s) {
+					n++
+				}
+			}
+			out[s.Code] = float64(n) / float64(len(st.NotAnycast))
+		}
+		return out, nil
+	}
+
+	p3, err := steerable(3)
+	if err != nil {
+		return nil, err
+	}
+	p5, err := steerable(5)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Table1Row
+	for _, st := range sel.Sites {
+		row := Table1Row{Site: st.Code, Proximate: len(st.Proximate)}
+		if len(st.Proximate) > 0 {
+			row.NotAnycast = float64(len(st.NotAnycast)) / float64(len(st.Proximate))
+		}
+		row.Prepend3 = p3[st.Code]
+		row.Prepend5 = p5[st.Code]
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable1 lays the measurement out like the paper's Table 1: sites as
+// columns.
+func RenderTable1(rows []Table1Row) string {
+	t := &stats.Table{Header: []string{""}}
+	notRouted := []string{"Not routed by anycast"}
+	pre3 := []string{"prepend 3"}
+	pre5 := []string{"prepend 5"}
+	prox := []string{"(proximate targets)"}
+	for _, r := range rows {
+		t.Header = append(t.Header, r.Site)
+		notRouted = append(notRouted, stats.Pct(r.NotAnycast))
+		pre3 = append(pre3, stats.Pct(r.Prepend3))
+		pre5 = append(pre5, stats.Pct(r.Prepend5))
+		prox = append(prox, fmt.Sprintf("%d", r.Proximate))
+	}
+	t.AddRow(notRouted...)
+	t.AddRow(pre3...)
+	t.AddRow(pre5...)
+	t.AddRow(prox...)
+	return t.Render()
+}

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"bestofboth/internal/stats"
+)
+
+// CDFSummary is the JSON-friendly form of a distribution: headline
+// percentiles plus up to 200 curve points for plotting.
+type CDFSummary struct {
+	N      int          `json:"n"`
+	P25    float64      `json:"p25"`
+	P50    float64      `json:"p50"`
+	P75    float64      `json:"p75"`
+	P90    float64      `json:"p90"`
+	P99    float64      `json:"p99"`
+	Max    float64      `json:"max"`
+	Points [][2]float64 `json:"points,omitempty"`
+}
+
+// SummarizeCDF extracts a CDFSummary with up to points curve samples.
+func SummarizeCDF(c *stats.CDF, points int) CDFSummary {
+	return CDFSummary{
+		N:      c.N(),
+		P25:    c.Percentile(25),
+		P50:    c.Median(),
+		P75:    c.Percentile(75),
+		P90:    c.Percentile(90),
+		P99:    c.Percentile(99),
+		Max:    c.Max(),
+		Points: c.Points(points),
+	}
+}
+
+// TechniqueSeries is the exported form of one Figure 2/5 curve pair.
+type TechniqueSeries struct {
+	Technique    string         `json:"technique"`
+	Reconnection CDFSummary     `json:"reconnection"`
+	Failover     CDFSummary     `json:"failover"`
+	Stability    StabilityStats `json:"stability"`
+}
+
+// ExportPairs converts CDFPairs for JSON output.
+func ExportPairs(pairs []CDFPair, points int) []TechniqueSeries {
+	out := make([]TechniqueSeries, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, TechniqueSeries{
+			Technique:    p.Technique,
+			Reconnection: SummarizeCDF(p.Reconnection, points),
+			Failover:     SummarizeCDF(p.Failover, points),
+			Stability:    p.Stability,
+		})
+	}
+	return out
+}
+
+// Report accumulates experiment results for machine-readable output.
+type Report struct {
+	Seed     int64          `json:"seed"`
+	Sections map[string]any `json:"sections"`
+}
+
+// NewReport creates an empty report for a seed.
+func NewReport(seed int64) *Report {
+	return &Report{Seed: seed, Sections: map[string]any{}}
+}
+
+// Add stores a section by name (e.g. "figure2", "table1").
+func (r *Report) Add(name string, v any) { r.Sections[name] = v }
+
+// WriteFile serializes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiment: marshaling report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("experiment: writing report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,349 @@
+package experiment
+
+import (
+	"fmt"
+
+	"bestofboth/internal/core"
+	"bestofboth/internal/dataplane"
+	"bestofboth/internal/stats"
+	"bestofboth/internal/topology"
+)
+
+// FailoverConfig sets the probing schedule of §5.2.
+type FailoverConfig struct {
+	// ProbeInterval is the per-target ping cadence (paper: ~1.5 s).
+	ProbeInterval float64
+	// ProbeDuration is how long probing continues after failure (paper:
+	// ~600 s).
+	ProbeDuration float64
+	// ConvergeTime bounds the pre-failure convergence wait (paper: 1 h).
+	ConvergeTime float64
+	// MaxTargets caps controllable targets probed per run (0 = no cap).
+	MaxTargets int
+	// LossRate injects independent request/reply loss into probing (the
+	// §5.3 ICMP-rate-limit concern); metrics must remain in regime under
+	// a few percent of loss.
+	LossRate float64
+	// UseMonitor replaces the fixed DetectionDelay with the CDN's
+	// probing-based health monitor: the site crashes silently and the
+	// controller reacts only when the monitor declares it down, so
+	// detection latency is emergent (§4: "CDNs need to make new
+	// announcements quickly after the detection of an outage").
+	UseMonitor bool
+	// MonitorInterval/MonitorMisses configure the monitor when UseMonitor
+	// is set (defaults 0.5 s × 3).
+	MonitorInterval float64
+	MonitorMisses   int
+}
+
+// DefaultFailoverConfig returns the paper's schedule.
+func DefaultFailoverConfig() FailoverConfig {
+	return FailoverConfig{ProbeInterval: 1.5, ProbeDuration: 600, ConvergeTime: 3600}
+}
+
+// TargetOutcome is the per-⟨failed site, target⟩ measurement of §5.4.1.
+type TargetOutcome struct {
+	Target topology.NodeID
+	// Reconnected reports whether any reply arrived after the failure.
+	Reconnected bool
+	// Reconnection is the delay from withdrawal to the first reply at any
+	// site (valid when Reconnected).
+	Reconnection float64
+	// FailedOver reports whether the target reached a stable state: a
+	// reply after which it neither switched sites nor lost a reply again.
+	FailedOver bool
+	// Failover is the delay from withdrawal to that first stable reply.
+	Failover float64
+	// Bounces counts site switches observed after the first reconnection.
+	Bounces int
+	// Gaps counts periods of unreachability (runs of lost replies) after
+	// the first reconnection — §5.4.1 reports that most targets have none
+	// between reconnection and failover.
+	Gaps int
+	// FinalSite is the site code serving the target at the end ("" if
+	// none).
+	FinalSite string
+}
+
+// RunResult is one ⟨technique, failed site⟩ failover experiment.
+type RunResult struct {
+	Technique  string
+	FailedSite string
+	// PoolSize is the number of candidate targets considered.
+	PoolSize int
+	// Controllable is how many of them the technique could route to the
+	// site before failure (the probed set).
+	Controllable int
+	Outcomes     []TargetOutcome
+	// DetectedAt is the emergent detection latency when the run used the
+	// health monitor (seconds after the crash; zero otherwise).
+	DetectedAt float64
+	// World is retained for collector-side inspection.
+	World *World
+}
+
+// ReconnectionSamples returns reconnection times with unreconnected
+// targets clamped to the probe duration (conservative, as in truncating
+// the paper's CDFs at the measurement horizon).
+func (r *RunResult) ReconnectionSamples(clamp float64) []float64 {
+	out := make([]float64, 0, len(r.Outcomes))
+	for _, o := range r.Outcomes {
+		if o.Reconnected {
+			out = append(out, o.Reconnection)
+		} else {
+			out = append(out, clamp)
+		}
+	}
+	return out
+}
+
+// FailoverSamples returns failover times with unstable targets clamped.
+func (r *RunResult) FailoverSamples(clamp float64) []float64 {
+	out := make([]float64, 0, len(r.Outcomes))
+	for _, o := range r.Outcomes {
+		if o.FailedOver {
+			out = append(out, o.Failover)
+		} else {
+			out = append(out, clamp)
+		}
+	}
+	return out
+}
+
+// RunFailover performs one §5.2 experiment: deploy the technique, wait for
+// convergence, find the controllable targets for the site, fail it, probe
+// every ~1.5 s for ~600 s, and compute reconnection/failover per target.
+func RunFailover(cfg WorldConfig, sel *Selection, tech core.Technique, failCode string, fc FailoverConfig) (*RunResult, error) {
+	w, err := NewWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.CDN.Deploy(tech); err != nil {
+		return nil, fmt.Errorf("experiment: deploying %s: %w", tech.Name(), err)
+	}
+	w.Converge(fc.ConvergeTime)
+
+	failed := w.CDN.Site(failCode)
+	if failed == nil {
+		return nil, fmt.Errorf("experiment: unknown site %q", failCode)
+	}
+	st := sel.ForSite(failCode)
+	if st == nil {
+		return nil, fmt.Errorf("experiment: no target selection for site %q", failCode)
+	}
+
+	// Controllable targets (§5.2): targets the technique routes to the
+	// site when DNS steers them there. For the anycast baseline the
+	// relevant set is the site's natural catchment.
+	pool := st.NotAnycast
+	if _, isAnycast := tech.(core.Anycast); isAnycast {
+		pool = st.AnycastHere
+	}
+	steer := tech.SteerAddr(w.CDN, failed)
+	var controllable []topology.NodeID
+	for _, id := range pool {
+		if got := w.CDN.CatchmentOf(id, steer); got != nil && got.Node == failed.Node {
+			controllable = append(controllable, id)
+		}
+	}
+	if fc.MaxTargets > 0 && len(controllable) > fc.MaxTargets {
+		controllable = controllable[:fc.MaxTargets]
+	}
+
+	res := &RunResult{
+		Technique:  tech.Name(),
+		FailedSite: failCode,
+		PoolSize:   len(pool),
+		World:      w,
+	}
+	res.Controllable = len(controllable)
+	if len(controllable) == 0 {
+		return res, nil
+	}
+
+	// Probe from a healthy site with the failed site's steering address as
+	// reply-to (§5.2 uses source 184.164.244.10 from another PEERING site).
+	var proberSite *core.Site
+	for _, s := range w.CDN.Sites() {
+		if s.Code != failCode {
+			proberSite = s
+			break
+		}
+	}
+	prober := dataplane.NewProber(w.Plane, proberSite.Node, steer)
+	prober.LossRate = fc.LossRate
+
+	t0 := w.Sim.Now()
+	var monitor *core.Monitor
+	if fc.UseMonitor {
+		interval, misses := fc.MonitorInterval, fc.MonitorMisses
+		if interval <= 0 {
+			interval = 0.5
+		}
+		if misses <= 0 {
+			misses = 3
+		}
+		m, err := w.CDN.StartMonitor(interval, misses)
+		if err != nil {
+			return nil, err
+		}
+		monitor = m
+		m.OnDetect = func(code string, at float64) {
+			res.DetectedAt = at - t0
+		}
+		if err := w.CDN.CrashSite(failCode); err != nil {
+			return nil, err
+		}
+	} else if err := w.CDN.FailSite(failCode); err != nil {
+		return nil, err
+	}
+	for _, id := range controllable {
+		prober.PingEvery(id, fc.ProbeInterval, fc.ProbeDuration)
+	}
+	// Let the final replies land (replies take well under 30 s).
+	w.Sim.RunUntil(t0 + fc.ProbeDuration + 30)
+	if monitor != nil {
+		monitor.Stop()
+	}
+
+	// Per-target sent sequences, in emission order.
+	sentByTarget := map[topology.NodeID][]uint64{}
+	for _, s := range prober.Sent {
+		sentByTarget[s.Target] = append(sentByTarget[s.Target], s.Seq)
+	}
+	byTarget := prober.Capture.ByTarget()
+	for _, id := range controllable {
+		res.Outcomes = append(res.Outcomes, analyzeTarget(w, id, sentByTarget[id], byTarget[id], t0))
+	}
+	return res, nil
+}
+
+// analyzeTarget derives the §5.4.1 metrics for one target by matching its
+// capture trace against the pings actually sent to it.
+func analyzeTarget(w *World, id topology.NodeID, sent []uint64, caps []dataplane.CaptureEntry, t0 float64) TargetOutcome {
+	o := TargetOutcome{Target: id}
+	if len(caps) == 0 {
+		return o
+	}
+	o.Reconnected = true
+	o.Reconnection = caps[0].Time - t0
+
+	// Bounces: site changes across the captured replies.
+	for i := 1; i < len(caps); i++ {
+		if caps[i].Site != caps[i-1].Site {
+			o.Bounces++
+		}
+	}
+	if s := siteCode(w, caps[len(caps)-1].Site); s != "" {
+		o.FinalSite = s
+	}
+
+	// Failover: the first reply after which the target neither loses a
+	// reply nor switches sites (§5.4.1). Index captures by sequence number
+	// and scan the per-target send schedule backward to find the start of
+	// the maximal suffix with no loss and a constant site. The suffix must
+	// extend through the final ping sent, otherwise the target ended the
+	// experiment disconnected.
+	bySeq := make(map[uint64]dataplane.CaptureEntry, len(caps))
+	for _, c := range caps {
+		bySeq[c.Seq] = c
+	}
+
+	// Gaps: runs of missing replies after the first captured reply.
+	inGap := false
+	seenFirst := false
+	for _, seq := range sent {
+		_, got := bySeq[seq]
+		if !seenFirst {
+			if got {
+				seenFirst = true
+			}
+			continue
+		}
+		if !got && !inGap {
+			o.Gaps++
+			inGap = true
+		} else if got {
+			inGap = false
+		}
+	}
+
+	lastCap, ok := bySeq[sent[len(sent)-1]]
+	if !ok {
+		return o // final ping lost: no stable suffix
+	}
+	start := lastCap
+	for i := len(sent) - 2; i >= 0; i-- {
+		c, ok := bySeq[sent[i]]
+		if !ok || c.Site != lastCap.Site {
+			break
+		}
+		start = c
+	}
+	o.FailedOver = true
+	o.Failover = start.Time - t0
+	return o
+}
+
+func siteCode(w *World, node topology.NodeID) string {
+	n := w.Topo.Node(node)
+	if n == nil {
+		return ""
+	}
+	return n.Site
+}
+
+// CDFPair bundles the two §5.4.1 distributions for one technique, plus
+// the bounce/gap stability summary.
+type CDFPair struct {
+	Technique    string
+	Reconnection *stats.CDF
+	Failover     *stats.CDF
+	Stability    StabilityStats
+}
+
+// Figure2Single converts one run into a CDFPair (convenience for single
+// ⟨technique, site⟩ analyses).
+func Figure2Single(r *RunResult, fc FailoverConfig) CDFPair {
+	return CDFPair{
+		Technique:    r.Technique,
+		Reconnection: stats.NewCDF(r.ReconnectionSamples(fc.ProbeDuration)),
+		Failover:     stats.NewCDF(r.FailoverSamples(fc.ProbeDuration)),
+		Stability:    Stability(r.Outcomes),
+	}
+}
+
+// Figure2 runs the full §5.2 matrix — every technique × every failed site —
+// and pools outcomes into per-technique reconnection and failover CDFs
+// across ⟨failed site, target⟩ pairs, reproducing Figure 2.
+func Figure2(cfg WorldConfig, sel *Selection, techs []core.Technique, sites []string, fc FailoverConfig) ([]CDFPair, error) {
+	var out []CDFPair
+	for _, tech := range techs {
+		var recon, fail []float64
+		var outcomes []TargetOutcome
+		for _, site := range sites {
+			r, err := RunFailover(cfg, sel, tech, site, fc)
+			if err != nil {
+				return nil, err
+			}
+			recon = append(recon, r.ReconnectionSamples(fc.ProbeDuration)...)
+			fail = append(fail, r.FailoverSamples(fc.ProbeDuration)...)
+			outcomes = append(outcomes, r.Outcomes...)
+		}
+		out = append(out, CDFPair{
+			Technique:    tech.Name(),
+			Reconnection: stats.NewCDF(recon),
+			Failover:     stats.NewCDF(fail),
+			Stability:    Stability(outcomes),
+		})
+	}
+	return out, nil
+}
+
+// Figure5 compares proactive-prepending at 3 and 5 prepends (Appendix C.2).
+func Figure5(cfg WorldConfig, sel *Selection, sites []string, fc FailoverConfig) ([]CDFPair, error) {
+	return Figure2(cfg, sel, []core.Technique{
+		core.ProactivePrepending{Prepends: 3},
+		core.ProactivePrepending{Prepends: 5},
+	}, sites, fc)
+}

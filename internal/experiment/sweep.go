@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"fmt"
+
+	"bestofboth/internal/core"
+	"bestofboth/internal/stats"
+)
+
+// SweepPoint is one prepend depth in the control-vs-failover tradeoff
+// curve (generalizing Appendix C.2's two-point comparison).
+type SweepPoint struct {
+	Depth int `json:"depth"`
+	// MeanControl is the mean steerable share over sites' NotAnycast sets.
+	MeanControl float64 `json:"meanControl"`
+	// Reconnection/Failover distributions pooled across the failed sites.
+	ReconP50    float64 `json:"reconP50"`
+	FailoverP50 float64 `json:"failoverP50"`
+	FailoverP90 float64 `json:"failoverP90"`
+	Samples     int     `json:"samples"`
+}
+
+// PrependSweep measures traffic control and failover for a range of
+// prepend depths — the §4 tradeoff ("if the other sites prepend more
+// times, the CDN may get more traffic control... additional prepending
+// will also make the backup routes longer, delaying failover") as a full
+// curve.
+func PrependSweep(cfg WorldConfig, sel *Selection, depths []int, sites []string, fc FailoverConfig) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, k := range depths {
+		if k < 1 {
+			return nil, fmt.Errorf("experiment: prepend depth %d", k)
+		}
+		tech := core.ProactivePrepending{Prepends: k}
+
+		// Control measurement on a dedicated world.
+		w, err := NewWorld(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.CDN.Deploy(tech); err != nil {
+			return nil, err
+		}
+		w.Converge(3600)
+		var control float64
+		counted := 0
+		for _, st := range sel.Sites {
+			if len(st.NotAnycast) == 0 {
+				continue
+			}
+			s := w.CDN.Site(st.Code)
+			ok := 0
+			for _, id := range st.NotAnycast {
+				if w.CDN.CanSteer(id, s) {
+					ok++
+				}
+			}
+			control += float64(ok) / float64(len(st.NotAnycast))
+			counted++
+		}
+		if counted > 0 {
+			control /= float64(counted)
+		}
+
+		// Failover measurement pooled over the requested sites.
+		var recon, fail []float64
+		for _, site := range sites {
+			r, err := RunFailover(cfg, sel, tech, site, fc)
+			if err != nil {
+				return nil, err
+			}
+			recon = append(recon, r.ReconnectionSamples(fc.ProbeDuration)...)
+			fail = append(fail, r.FailoverSamples(fc.ProbeDuration)...)
+		}
+		rc, fc2 := stats.NewCDF(recon), stats.NewCDF(fail)
+		out = append(out, SweepPoint{
+			Depth:       k,
+			MeanControl: control,
+			ReconP50:    rc.Median(),
+			FailoverP50: fc2.Median(),
+			FailoverP90: fc2.Percentile(90),
+			Samples:     fc2.N(),
+		})
+	}
+	return out, nil
+}
+
+// RenderSweep formats the tradeoff curve.
+func RenderSweep(points []SweepPoint) string {
+	t := &stats.Table{Header: []string{"prepends", "mean control", "recon p50", "failover p50", "failover p90", "n"}}
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%d", p.Depth),
+			stats.Pct(p.MeanControl),
+			fmt.Sprintf("%.1fs", p.ReconP50),
+			fmt.Sprintf("%.1fs", p.FailoverP50),
+			fmt.Sprintf("%.1fs", p.FailoverP90),
+			fmt.Sprintf("%d", p.Samples),
+		)
+	}
+	return t.Render()
+}

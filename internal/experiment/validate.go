@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"bestofboth/internal/core"
+	"bestofboth/internal/stats"
+)
+
+// StabilityStats summarizes the §5.4.1 bounce/gap narrative: after
+// reconnecting, targets bounce between sites at most a couple of times and
+// mostly stay reachable until they stabilize.
+type StabilityStats struct {
+	// MedianBounces is the median number of site switches after first
+	// reconnection.
+	MedianBounces float64
+	// BounceLE2Share is the fraction of reconnected targets with at most
+	// two bounces ("most targets bouncing once or twice").
+	BounceLE2Share float64
+	// NoGapShare is the fraction of reconnected targets with no
+	// unreachability period after reconnection ("most targets do not
+	// experience periods of unreachability").
+	NoGapShare float64
+	// Reconnected is the sample size.
+	Reconnected int
+}
+
+// Stability aggregates bounce/gap statistics over outcomes.
+func Stability(outcomes []TargetOutcome) StabilityStats {
+	var st StabilityStats
+	var bounces []float64
+	for _, o := range outcomes {
+		if !o.Reconnected {
+			continue
+		}
+		st.Reconnected++
+		bounces = append(bounces, float64(o.Bounces))
+		if o.Bounces <= 2 {
+			st.BounceLE2Share++
+		}
+		if o.Gaps == 0 {
+			st.NoGapShare++
+		}
+	}
+	if st.Reconnected > 0 {
+		st.BounceLE2Share /= float64(st.Reconnected)
+		st.NoGapShare /= float64(st.Reconnected)
+		st.MedianBounces = stats.NewCDF(bounces).Median()
+	}
+	return st
+}
+
+// CriterionValidation compares failover measured on the §5.1-filtered
+// target set against an alternate set without the not-routed-by-anycast
+// criterion. The paper reports "failover times were very similar for both
+// datasets"; this reproduces that robustness check.
+type CriterionValidation struct {
+	Filtered, Unfiltered *stats.CDF
+}
+
+// ValidateTargetCriterion runs one technique × site failover twice: once
+// on the standard controllable pool and once on the full proximate pool.
+func ValidateTargetCriterion(cfg WorldConfig, sel *Selection, tech core.Technique, site string, fc FailoverConfig) (*CriterionValidation, error) {
+	std, err := RunFailover(cfg, sel, tech, site, fc)
+	if err != nil {
+		return nil, err
+	}
+	// Alternate selection: drop the criterion by treating all proximate
+	// targets as the pool.
+	alt := &Selection{AnycastCatchment: sel.AnycastCatchment}
+	for _, st := range sel.Sites {
+		all := SiteTargets{Code: st.Code, Proximate: st.Proximate}
+		all.NotAnycast = st.Proximate // no filter
+		alt.Sites = append(alt.Sites, all)
+	}
+	full, err := RunFailover(cfg, alt, tech, site, fc)
+	if err != nil {
+		return nil, err
+	}
+	return &CriterionValidation{
+		Filtered:   stats.NewCDF(std.FailoverSamples(fc.ProbeDuration)),
+		Unfiltered: stats.NewCDF(full.FailoverSamples(fc.ProbeDuration)),
+	}, nil
+}
+
+// RepeatabilityCheck reruns a technique × site failover with a different
+// target-selection seed (the paper evaluates each technique twice with
+// different target sets, §5.4.1) and returns both failover CDFs.
+func RepeatabilityCheck(cfg WorldConfig, tech core.Technique, site string, fc FailoverConfig, maxPerSite int) (*stats.CDF, *stats.CDF, error) {
+	selA, err := SelectTargets(cfg, maxPerSite)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfgB := cfg
+	cfgB.Seed = cfg.Seed + 1000003
+	selB, err := SelectTargets(cfgB, maxPerSite)
+	if err != nil {
+		return nil, nil, err
+	}
+	runA, err := RunFailover(cfg, selA, tech, site, fc)
+	if err != nil {
+		return nil, nil, err
+	}
+	runB, err := RunFailover(cfgB, selB, tech, site, fc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stats.NewCDF(runA.FailoverSamples(fc.ProbeDuration)),
+		stats.NewCDF(runB.FailoverSamples(fc.ProbeDuration)), nil
+}

@@ -1,0 +1,107 @@
+// Package experiment implements the paper's evaluation (§5 and the
+// appendices): target selection, failover runs with Verfploeter-style
+// probing, reconnection/failover metrics, traffic-control measurement,
+// collector-side convergence studies, and the renderers that regenerate
+// every figure and table.
+package experiment
+
+import (
+	"fmt"
+
+	"bestofboth/internal/bgp"
+	"bestofboth/internal/collector"
+	"bestofboth/internal/core"
+	"bestofboth/internal/dataplane"
+	"bestofboth/internal/netsim"
+	"bestofboth/internal/topology"
+)
+
+// WorldConfig parameterizes one simulated Internet + CDN instance.
+type WorldConfig struct {
+	// Seed drives both topology generation and event timing. Runs with
+	// equal seeds are bit-identical.
+	Seed int64
+	// Topology overrides the topology generator configuration. The Seed
+	// field inside is ignored in favor of Seed above.
+	Topology topology.GenConfig
+	// BGP overrides protocol timing; zero value uses bgp.DefaultConfig.
+	BGP bgp.Config
+	// CDN overrides controller parameters.
+	CDN core.Config
+	// CollectorPeers is the number of route-collector peer sessions
+	// (default 40, emulating the RIS/RouteViews full-feed peers used in
+	// Appendices A and B).
+	CollectorPeers int
+}
+
+func (c *WorldConfig) fillDefaults() {
+	if c.BGP == (bgp.Config{}) {
+		c.BGP = bgp.DefaultConfig()
+	}
+	if c.CollectorPeers == 0 {
+		c.CollectorPeers = 40
+	}
+	c.Topology.Seed = c.Seed
+}
+
+// World bundles one fully wired simulation: topology, BGP, data plane,
+// CDN controller, and a route collector.
+type World struct {
+	Cfg       WorldConfig
+	Sim       *netsim.Sim
+	Topo      *topology.Topology
+	Net       *bgp.Network
+	Plane     *dataplane.Plane
+	CDN       *core.CDN
+	Collector *collector.Collector
+}
+
+// NewWorld builds a world from cfg. The CDN is constructed but no
+// technique is deployed yet.
+func NewWorld(cfg WorldConfig) (*World, error) {
+	cfg.fillDefaults()
+	topo, err := topology.Generate(cfg.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: generating topology: %w", err)
+	}
+	sim := netsim.New(cfg.Seed)
+	net := bgp.New(sim, topo, cfg.BGP)
+	plane := dataplane.New(net)
+	cdn, err := core.New(net, plane, cfg.CDN)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: building CDN: %w", err)
+	}
+	col := collector.New("rrc00")
+	if err := col.Attach(net, collector.SelectPeers(topo, cfg.CollectorPeers, cfg.Seed)...); err != nil {
+		return nil, fmt.Errorf("experiment: attaching collector: %w", err)
+	}
+	return &World{
+		Cfg: cfg, Sim: sim, Topo: topo, Net: net,
+		Plane: plane, CDN: cdn, Collector: col,
+	}, nil
+}
+
+// Converge drains control-plane events up to maxVirtual seconds, the
+// harness analogue of the paper's "wait one hour to ensure convergence"
+// (§5.2).
+func (w *World) Converge(maxVirtual float64) {
+	w.Net.ConvergeSynchronously(maxVirtual)
+}
+
+// Targets returns every prefix-bearing client node (eyeballs, stubs,
+// universities), the simulation's stand-in for the ISI hitlist filtered to
+// web-client networks (§5.1). Hypergiants are excluded: they host servers,
+// not CDN clients.
+func (w *World) Targets() []*topology.Node {
+	var out []*topology.Node
+	for _, n := range w.Topo.Nodes {
+		if !n.Prefix.IsValid() {
+			continue
+		}
+		if n.Class == topology.ClassHypergiant {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+// Package iptrie implements a longest-prefix-match binary trie over IP
+// prefixes, IPv4 and IPv6.
+//
+// The trie backs every FIB in the simulator as well as the route collectors'
+// prefix indexes. It is a plain binary (path-uncompressed) trie per address
+// family: prefixes are at most 32/128 bits deep, insertions in the simulator
+// cluster on a handful of short prefixes, and lookups walk at most one node
+// per bit, so the constant factors are small and the implementation stays
+// obviously correct. The paper's techniques use per-site /24s; they apply
+// identically to per-site /48s (§4), which is why both families are
+// first-class here.
+package iptrie
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Trie maps IP prefixes to values of type V with longest-prefix-match
+// lookup semantics. IPv4 and IPv6 entries live in disjoint sub-tries:
+// lookups never cross families (4-in-6 mapped addresses are treated as
+// IPv6).
+//
+// The zero value is not usable; call New.
+type Trie[V any] struct {
+	root4 *node[V]
+	root6 *node[V]
+	size  int
+}
+
+type node[V any] struct {
+	child [2]*node[V]
+	val   V
+	set   bool
+}
+
+// New returns an empty trie.
+func New[V any]() *Trie[V] {
+	return &Trie[V]{root4: &node[V]{}, root6: &node[V]{}}
+}
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.size }
+
+// key extracts the address bytes, bit count, and family root selector.
+func (t *Trie[V]) rootFor(a netip.Addr) (*node[V], []byte, int) {
+	if a.Is4() {
+		b := a.As4()
+		return t.root4, b[:], 32
+	}
+	b := a.As16()
+	return t.root6, b[:], 128
+}
+
+func bitAt(b []byte, i int) int {
+	return int(b[i/8]>>(7-i%8)) & 1
+}
+
+// Insert stores val under prefix p, replacing any previous value for the
+// exact prefix. The prefix is canonicalized (masked) before insertion.
+func (t *Trie[V]) Insert(p netip.Prefix, val V) error {
+	if !p.IsValid() {
+		return fmt.Errorf("iptrie: invalid prefix %v", p)
+	}
+	p = p.Masked()
+	cur, bits, max := t.rootFor(p.Addr())
+	if p.Bits() > max {
+		return fmt.Errorf("iptrie: prefix %v too long", p)
+	}
+	for i := 0; i < p.Bits(); i++ {
+		b := bitAt(bits, i)
+		if cur.child[b] == nil {
+			cur.child[b] = &node[V]{}
+		}
+		cur = cur.child[b]
+	}
+	if !cur.set {
+		t.size++
+	}
+	cur.val, cur.set = val, true
+	return nil
+}
+
+// Delete removes the exact prefix p. It reports whether the prefix was
+// present. Interior nodes are left in place; the simulator's tries churn the
+// same prefixes repeatedly, so retaining the skeleton avoids allocation.
+func (t *Trie[V]) Delete(p netip.Prefix) bool {
+	if !p.IsValid() {
+		return false
+	}
+	p = p.Masked()
+	cur, bits, max := t.rootFor(p.Addr())
+	if p.Bits() > max {
+		return false
+	}
+	for i := 0; i < p.Bits(); i++ {
+		cur = cur.child[bitAt(bits, i)]
+		if cur == nil {
+			return false
+		}
+	}
+	if !cur.set {
+		return false
+	}
+	var zero V
+	cur.val, cur.set = zero, false
+	t.size--
+	return true
+}
+
+// Get returns the value stored under the exact prefix p.
+func (t *Trie[V]) Get(p netip.Prefix) (V, bool) {
+	var zero V
+	if !p.IsValid() {
+		return zero, false
+	}
+	p = p.Masked()
+	cur, bits, max := t.rootFor(p.Addr())
+	if p.Bits() > max {
+		return zero, false
+	}
+	for i := 0; i < p.Bits(); i++ {
+		cur = cur.child[bitAt(bits, i)]
+		if cur == nil {
+			return zero, false
+		}
+	}
+	if !cur.set {
+		return zero, false
+	}
+	return cur.val, true
+}
+
+// Lookup performs a longest-prefix-match for addr within its address
+// family and returns the matched prefix and its value.
+func (t *Trie[V]) Lookup(addr netip.Addr) (netip.Prefix, V, bool) {
+	var (
+		zero    V
+		bestVal V
+		bestLen = -1
+	)
+	if !addr.IsValid() {
+		return netip.Prefix{}, zero, false
+	}
+	cur, bits, max := t.rootFor(addr)
+	for i := 0; ; i++ {
+		if cur.set {
+			bestVal, bestLen = cur.val, i
+		}
+		if i == max {
+			break
+		}
+		b := bitAt(bits, i)
+		if cur.child[b] == nil {
+			break
+		}
+		cur = cur.child[b]
+	}
+	if bestLen < 0 {
+		return netip.Prefix{}, zero, false
+	}
+	p, err := addr.Prefix(bestLen)
+	if err != nil {
+		return netip.Prefix{}, zero, false
+	}
+	return p, bestVal, true
+}
+
+// Walk visits every stored prefix/value pair, IPv4 entries first, each
+// family in ascending (address, length) order. If fn returns false, the
+// walk stops.
+func (t *Trie[V]) Walk(fn func(p netip.Prefix, val V) bool) {
+	walkFamily(t.root4, make([]byte, 4), 32, fn, makePrefix4)
+	walkFamily(t.root6, make([]byte, 16), 128, fn, makePrefix6)
+}
+
+func makePrefix4(b []byte, depth int) netip.Prefix {
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte(b)), depth)
+}
+
+func makePrefix6(b []byte, depth int) netip.Prefix {
+	return netip.PrefixFrom(netip.AddrFrom16([16]byte(b)), depth)
+}
+
+func walkFamily[V any](root *node[V], bits []byte, max int, fn func(netip.Prefix, V) bool, mk func([]byte, int) netip.Prefix) bool {
+	var rec func(n *node[V], depth int) bool
+	rec = func(n *node[V], depth int) bool {
+		if n == nil {
+			return true
+		}
+		if n.set {
+			if !fn(mk(bits, depth), n.val) {
+				return false
+			}
+		}
+		if depth == max {
+			return true
+		}
+		if !rec(n.child[0], depth+1) {
+			return false
+		}
+		bits[depth/8] |= 1 << (7 - depth%8)
+		ok := rec(n.child[1], depth+1)
+		bits[depth/8] &^= 1 << (7 - depth%8)
+		return ok
+	}
+	return rec(root, 0)
+}
+
+// Prefixes returns all stored prefixes sorted by address then length
+// (IPv4 before IPv6 per netip ordering).
+func (t *Trie[V]) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, t.size)
+	t.Walk(func(p netip.Prefix, _ V) bool {
+		out = append(out, p)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Addr().Compare(out[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return out[i].Bits() < out[j].Bits()
+	})
+	return out
+}

@@ -1,0 +1,163 @@
+// Package netsim provides a deterministic discrete-event simulation kernel.
+//
+// All higher layers of the simulator (BGP message propagation, MRAI timers,
+// data-plane probing, DNS resolution) are expressed as timestamped events on
+// a single virtual clock. Determinism is guaranteed by (a) a seeded random
+// number source and (b) a strict total order on events: time first, then a
+// monotonically increasing sequence number so that events scheduled earlier
+// fire earlier when timestamps tie.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Seconds is the unit of virtual time used throughout the simulator.
+type Seconds = float64
+
+// Event is a scheduled callback on the simulator's virtual clock.
+type event struct {
+	at  Seconds
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator with a virtual clock.
+//
+// Sim is not safe for concurrent use: the simulation model is single
+// threaded by design so that runs are reproducible bit-for-bit.
+type Sim struct {
+	now    Seconds
+	seq    uint64
+	queue  eventQueue
+	rng    *rand.Rand
+	nSteps uint64
+}
+
+// New returns a simulator whose random source is seeded with seed.
+// Two simulators built with the same seed and fed the same schedule of
+// events produce identical executions.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() Seconds { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Sim) Steps() uint64 { return s.nSteps }
+
+// Rand exposes the simulator's deterministic random source. Model code must
+// draw all randomness from this source to preserve reproducibility.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// panics: it always indicates a model bug and silently reordering events
+// would destroy determinism.
+func (s *Sim) At(at Seconds, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("netsim: scheduling event at %.6f before now %.6f", at, s.now))
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("netsim: invalid event time %v", at))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from the current virtual time.
+func (s *Sim) After(d Seconds, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("netsim: negative delay %v", d))
+	}
+	s.At(s.now+d, fn)
+}
+
+// Jitter returns a uniformly distributed delay in [lo, hi). It is a
+// convenience for model code that randomizes processing and propagation
+// times.
+func (s *Sim) Jitter(lo, hi Seconds) Seconds {
+	if hi <= lo {
+		return lo
+	}
+	return lo + s.rng.Float64()*(hi-lo)
+}
+
+// Pending reports the number of events waiting to run.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Step executes the single earliest pending event and returns true, or
+// returns false if the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.at
+	s.nSteps++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances the
+// clock to deadline. Events scheduled after deadline remain queued.
+func (s *Sim) RunUntil(deadline Seconds) {
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor executes events for d seconds of virtual time from now.
+func (s *Sim) RunFor(d Seconds) { s.RunUntil(s.now + d) }
+
+// Timer is a cancellable scheduled event.
+type Timer struct {
+	stopped bool
+}
+
+// AfterTimer schedules fn after d seconds and returns a handle that can stop
+// it. A stopped timer's callback never runs.
+func (s *Sim) AfterTimer(d Seconds, fn func()) *Timer {
+	t := &Timer{}
+	s.After(d, func() {
+		if !t.stopped {
+			fn()
+		}
+	})
+	return t
+}
+
+// Stop prevents the timer's callback from running if it has not fired yet.
+func (t *Timer) Stop() { t.stopped = true }

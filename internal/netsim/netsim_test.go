@@ -1,0 +1,215 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(3, func() { got = append(got, 3) })
+	s.At(1, func() { got = append(got, 1) })
+	s.At(2, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now() = %v, want 3", s.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events ran out of schedule order: %v", got)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	s := New(1)
+	var at Seconds
+	s.At(10, func() {
+		s.After(5, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 15 {
+		t.Fatalf("nested After fired at %v, want 15", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.Run()
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	s := New(1)
+	ran := map[int]bool{}
+	s.At(1, func() { ran[1] = true })
+	s.At(2, func() { ran[2] = true })
+	s.At(3, func() { ran[3] = true })
+	s.RunUntil(2)
+	if !ran[1] || !ran[2] || ran[3] {
+		t.Fatalf("RunUntil(2) ran wrong set: %v", ran)
+	}
+	if s.Now() != 2 {
+		t.Fatalf("Now() = %v, want 2", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if !ran[3] {
+		t.Fatal("event after deadline lost")
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	s := New(1)
+	s.RunUntil(42)
+	if s.Now() != 42 {
+		t.Fatalf("Now() = %v, want 42", s.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.AfterTimer(5, func() { fired = true })
+	s.At(1, func() { tm.Stop() })
+	s.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerFiresWhenNotStopped(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.AfterTimer(5, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("timer did not fire")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed int64) []float64 {
+		s := New(seed)
+		var trace []float64
+		// A little self-rescheduling process using the sim RNG.
+		var tick func()
+		n := 0
+		tick = func() {
+			trace = append(trace, s.Now())
+			n++
+			if n < 50 {
+				s.After(s.Jitter(0.1, 2.0), tick)
+			}
+		}
+		s.After(0, tick)
+		s.Run()
+		return trace
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	s := New(3)
+	f := func(a, b uint16) bool {
+		lo, hi := float64(a), float64(b)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		j := s.Jitter(lo, hi)
+		if hi <= lo {
+			return j == lo
+		}
+		return j >= lo && j < hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: executing N events scheduled at arbitrary non-negative times
+// always yields a non-decreasing clock sequence.
+func TestMonotonicClockProperty(t *testing.T) {
+	f := func(times []float64) bool {
+		s := New(1)
+		var seen []float64
+		for _, tm := range times {
+			if tm < 0 {
+				tm = -tm
+			}
+			if tm > 1e12 {
+				tm = 1e12
+			}
+			s.At(tm, func() { seen = append(seen, s.Now()) })
+		}
+		s.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepsCount(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 17; i++ {
+		s.At(float64(i), func() {})
+	}
+	s.Run()
+	if s.Steps() != 17 {
+		t.Fatalf("Steps() = %d, want 17", s.Steps())
+	}
+}

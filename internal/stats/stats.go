@@ -1,0 +1,199 @@
+// Package stats provides the small statistical toolkit used by the
+// evaluation harness: empirical CDFs, percentiles, and fixed-width table
+// rendering for reproducing the paper's figures and tables as text.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples. The input slice is not modified.
+func NewCDF(samples []float64) *CDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// Min returns the smallest sample, or NaN if empty.
+func (c *CDF) Min() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[0]
+}
+
+// Max returns the largest sample, or NaN if empty.
+func (c *CDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// At returns the fraction of samples <= x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using nearest-rank
+// on the sorted samples. It returns NaN if the CDF is empty.
+func (c *CDF) Percentile(p float64) float64 {
+	n := len(c.sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return c.sorted[0]
+	}
+	if p >= 100 {
+		return c.sorted[n-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return c.sorted[rank-1]
+}
+
+// Median returns the 50th percentile.
+func (c *CDF) Median() float64 { return c.Percentile(50) }
+
+// Mean returns the arithmetic mean, or NaN if empty.
+func (c *CDF) Mean() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range c.sorted {
+		sum += v
+	}
+	return sum / float64(len(c.sorted))
+}
+
+// Points returns up to n evenly spaced (value, cumulative fraction) points
+// suitable for plotting the CDF curve.
+func (c *CDF) Points(n int) [][2]float64 {
+	m := len(c.sorted)
+	if m == 0 || n <= 0 {
+		return nil
+	}
+	if n > m {
+		n = m
+	}
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (i + 1) * m / n
+		if idx < 1 {
+			idx = 1
+		}
+		v := c.sorted[idx-1]
+		out = append(out, [2]float64{v, float64(idx) / float64(m)})
+	}
+	return out
+}
+
+// Render draws the CDF as a fixed-width ASCII curve with a log-scaled x
+// axis (matching the paper's figures, which plot seconds on log scale).
+// Samples <= 0 are clamped to xmin.
+func (c *CDF) Render(label string, xmin, xmax float64, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d, median=%.1f, p90=%.1f)\n", label, c.N(), c.Median(), c.Percentile(90))
+	if c.N() == 0 {
+		return b.String()
+	}
+	if xmin <= 0 {
+		xmin = 0.1
+	}
+	logMin, logMax := math.Log10(xmin), math.Log10(xmax)
+	for _, frac := range []float64{0.25, 0.50, 0.75, 0.90, 0.99} {
+		v := c.Percentile(frac * 100)
+		pos := 0
+		if v > xmin {
+			pos = int(float64(width) * (math.Log10(v) - logMin) / (logMax - logMin))
+		}
+		if pos > width {
+			pos = width
+		}
+		if pos < 0 {
+			pos = 0
+		}
+		fmt.Fprintf(&b, "  p%02.0f |%s* %8.1fs\n", frac*100, strings.Repeat("-", pos), v)
+	}
+	return b.String()
+}
+
+// Summary is a compact one-line description used in experiment logs.
+func (c *CDF) Summary() string {
+	return fmt.Sprintf("n=%d min=%.2f p25=%.2f p50=%.2f p75=%.2f p90=%.2f p99=%.2f max=%.2f",
+		c.N(), c.Min(), c.Percentile(25), c.Median(), c.Percentile(75),
+		c.Percentile(90), c.Percentile(99), c.Max())
+}
+
+// Table renders rows of cells as a fixed-width text table with a header.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render formats the table with columns padded to their widest cell.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction in [0,1] as a percentage string like "57%".
+func Pct(f float64) string {
+	return fmt.Sprintf("%.0f%%", f*100)
+}

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if got := c.Median(); got != 5 {
+		t.Fatalf("median = %v, want 5", got)
+	}
+	if got := c.Percentile(90); got != 9 {
+		t.Fatalf("p90 = %v, want 9", got)
+	}
+	if got := c.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v, want 1", got)
+	}
+	if got := c.Percentile(100); got != 10 {
+		t.Fatalf("p100 = %v, want 10", got)
+	}
+}
+
+func TestEmptyCDF(t *testing.T) {
+	c := NewCDF(nil)
+	if !math.IsNaN(c.Median()) || !math.IsNaN(c.Mean()) || !math.IsNaN(c.Min()) {
+		t.Fatal("empty CDF should return NaN for summary stats")
+	}
+	if c.N() != 0 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if pts := c.Points(10); pts != nil {
+		t.Fatalf("Points on empty = %v", pts)
+	}
+}
+
+func TestAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestNewCDFDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	NewCDF(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestMean(t *testing.T) {
+	c := NewCDF([]float64{2, 4, 6})
+	if got := c.Mean(); got != 4 {
+		t.Fatalf("mean = %v, want 4", got)
+	}
+}
+
+func TestPointsMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = r.ExpFloat64() * 100
+	}
+	c := NewCDF(samples)
+	pts := c.Points(50)
+	if len(pts) != 50 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] || pts[i][1] <= pts[i-1][1] {
+			t.Fatalf("points not monotone at %d: %v %v", i, pts[i-1], pts[i])
+		}
+	}
+	if last := pts[len(pts)-1][1]; last != 1 {
+		t.Fatalf("last cumulative fraction = %v, want 1", last)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i := range raw {
+			if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
+				raw[i] = 0
+			}
+		}
+		c := NewCDF(raw)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := c.Percentile(p)
+			if v < prev {
+				return false
+			}
+			if v < c.Min() || v > c.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: At() agrees with a direct count of samples <= x.
+func TestAtAgainstNaiveProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func(raw []float64, probes []float64) bool {
+		clean := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		c := NewCDF(clean)
+		sorted := append([]float64(nil), clean...)
+		sort.Float64s(sorted)
+		for _, x := range probes {
+			if math.IsNaN(x) {
+				continue
+			}
+			count := 0
+			for _, v := range sorted {
+				if v <= x {
+					count++
+				}
+			}
+			want := float64(count) / float64(len(sorted))
+			if math.Abs(c.At(x)-want) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Header: []string{"site", "control"}}
+	tb.AddRow("ams", "55%")
+	tb.AddRow("sea1", "6%")
+	out := tb.Render()
+	if !strings.Contains(out, "site") || !strings.Contains(out, "sea1") {
+		t.Fatalf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderCDFDoesNotPanic(t *testing.T) {
+	c := NewCDF([]float64{1, 5, 10, 50, 100, 600})
+	out := c.Render("failover", 1, 600, 40)
+	if !strings.Contains(out, "median") {
+		t.Fatalf("render output: %s", out)
+	}
+	// Empty CDF renders header only.
+	e := NewCDF(nil)
+	if out := e.Render("empty", 1, 10, 10); !strings.Contains(out, "n=0") {
+		t.Fatalf("empty render: %s", out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.566); got != "57%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if got := Pct(0); got != "0%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}

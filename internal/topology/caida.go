@@ -1,0 +1,136 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// ReadCAIDA parses the CAIDA AS-relationship serial-1 format
+// (`<provider-as>|<customer-as>|-1` and `<peer-as>|<peer-as>|0`, '#'
+// comments) and builds a topology over it, so experiments can run on real
+// Internet snapshots instead of the synthetic generator.
+//
+// CAIDA files carry no geography or prefixes, so ReadCAIDA synthesizes
+// both: ASes are scattered across the metro map deterministically from
+// seed, link delays derive from the scatter, and every AS that appears
+// only as a customer (a stub) is given a /24 so it can host measurement
+// targets. CDN sites are NOT created — attach them afterwards with
+// AttachCDN.
+func ReadCAIDA(r io.Reader, seed int64) (*Topology, error) {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	ids := map[ASN]NodeID{}
+	hasCustomer := map[ASN]bool{}
+
+	node := func(a ASN) NodeID {
+		if id, ok := ids[a]; ok {
+			return id
+		}
+		m := Metros[rng.Intn(len(Metros))]
+		loc := Point{m.Loc.X + rng.Float64()*2 - 1, m.Loc.Y + rng.Float64()*2 - 1}
+		id := b.AddNode(a, fmt.Sprintf("as%d", a), ClassStub, loc)
+		ids[a] = id
+		return id
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("topology: caida line %d: need 3 fields, got %d", lineno, len(fields))
+		}
+		a64, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("topology: caida line %d: %v", lineno, err)
+		}
+		b64, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("topology: caida line %d: %v", lineno, err)
+		}
+		rel, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("topology: caida line %d: %v", lineno, err)
+		}
+		na, nb := node(ASN(a64)), node(ASN(b64))
+		la, lb := b.t.Node(na).Loc, b.t.Node(nb).Loc
+		switch rel {
+		case -1: // a provides transit to b
+			b.Link(na, nb, RelCustomer, LinkDelay(la, lb))
+			hasCustomer[ASN(a64)] = true
+		case 0:
+			b.Link(na, nb, RelPeer, LinkDelay(la, lb))
+		default:
+			return nil, fmt.Errorf("topology: caida line %d: unknown relationship %d", lineno, rel)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Classify: ASes with customers are transits; pure leaves are stubs
+	// and get target prefixes.
+	idx := 0
+	for asn, id := range ids {
+		n := b.t.Node(id)
+		if hasCustomer[asn] {
+			n.Class = ClassTransit
+			continue
+		}
+		n.Prefix = netip.PrefixFrom(netip.AddrFrom4([4]byte{
+			21, byte(idx >> 8), byte(idx), 0,
+		}), 24)
+		idx++
+	}
+	return b.Build()
+}
+
+// AttachCDN adds CDN site nodes to an imported topology: each site becomes
+// a customer of the named provider AS (and a peer of the optional peer
+// ASes). Use after ReadCAIDA to place an emulated deployment onto a real
+// AS graph.
+func AttachCDN(t *Topology, cdnASN ASN, sites map[string]ASN) (*Topology, error) {
+	// Rebuild through a Builder to preserve validation.
+	b := NewBuilder()
+	for _, n := range t.Nodes {
+		id := b.AddNode(n.ASN, n.Name, n.Class, n.Loc)
+		if n.Prefix.IsValid() {
+			b.SetPrefix(id, n.Prefix)
+		}
+		if n.Site != "" {
+			b.SetSite(id, n.Site)
+		}
+	}
+	for _, n := range t.Nodes {
+		for _, adj := range n.Adj {
+			if adj.To > n.ID {
+				b.Link(n.ID, adj.To, adj.Rel, adj.Delay)
+			}
+		}
+	}
+	if cdnASN == 0 {
+		cdnASN = 47065
+	}
+	for code, providerASN := range sites {
+		provIDs := t.NodesByASN(providerASN)
+		if len(provIDs) == 0 {
+			return nil, fmt.Errorf("topology: site %s references unknown provider AS %d", code, providerASN)
+		}
+		prov := t.Node(provIDs[0])
+		id := b.AddNode(cdnASN, "cdn-"+code, ClassCDN, prov.Loc)
+		b.SetSite(id, code)
+		b.Link(id, prov.ID, RelProvider, 0.002)
+	}
+	return b.Build()
+}

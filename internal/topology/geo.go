@@ -1,0 +1,61 @@
+package topology
+
+import "math"
+
+func mathSqrt(x float64) float64 { return math.Sqrt(x) }
+
+// Metro is a named position on the latency plane. Coordinates are tuned so
+// that Euclidean distance approximates one-way propagation delay in
+// milliseconds between metros (e.g. Boston–Amsterdam ≈ 40 ms one-way,
+// ≈ 80 ms RTT).
+type Metro struct {
+	Code string
+	Loc  Point
+}
+
+// Metros lists the metropolitan areas used by the generator. The first
+// eight host the CDN sites evaluated in the paper (Table 1 column order):
+// Amsterdam, Athens, Boston, Atlanta, Seattle (two sites), Salt Lake City,
+// and Madison.
+var Metros = []Metro{
+	// North America extends west (negative X) from Boston; Europe lies
+	// across the Atlantic (positive X); Brazil to the south.
+	{"ams", Point{42, 14}},   // Amsterdam (~44 ms one-way from Boston)
+	{"ath", Point{53, 3}},    // Athens
+	{"bos", Point{0, 0}},     // Boston
+	{"atl", Point{-12, -10}}, // Atlanta
+	{"sea", Point{-34, 8}},   // Seattle (~35 ms one-way from Boston)
+	{"slc", Point{-28, 1}},   // Salt Lake City
+	{"msn", Point{-14, 4}},   // Madison
+	{"nyc", Point{-3, -2}},   // New York
+	{"chi", Point{-12, 2}},   // Chicago
+	{"dal", Point{-22, -8}},  // Dallas
+	{"den", Point{-24, 0}},   // Denver
+	{"lax", Point{-34, -6}},  // Los Angeles
+	{"lon", Point{39, 12}},   // London
+	{"fra", Point{44, 12}},   // Frankfurt
+	{"par", Point{41, 10}},   // Paris
+	{"mad", Point{37, 4}},    // Madrid
+	{"waw", Point{50, 14}},   // Warsaw
+	{"gru", Point{12, -58}},  // São Paulo
+	{"bhz", Point{14, -54}},  // Belo Horizonte
+	{"mia", Point{-18, -15}}, // Miami
+}
+
+// MetroByCode returns the metro with the given code, or the zero Metro.
+func MetroByCode(code string) (Metro, bool) {
+	for _, m := range Metros {
+		if m.Code == code {
+			return m, true
+		}
+	}
+	return Metro{}, false
+}
+
+// LinkDelay converts a distance between two points into a one-way link
+// delay in seconds, adding a fixed per-hop equipment latency. The 0.5 ms
+// floor models serialization and forwarding overhead on short links.
+func LinkDelay(a, b Point) float64 {
+	ms := a.Dist(b) + 0.5
+	return ms / 1000.0
+}

@@ -1,0 +1,167 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The serialization format extends CAIDA's AS-relationship format
+// (<a>|<b>|<rel> with rel -1 for a-provider-of-b and 0 for peers) with node
+// records, so a topology round-trips losslessly:
+//
+//	# bestofboth topology v1
+//	N|<id>|<asn>|<name>|<class>|<x>|<y>|<prefix-or-dash>|<site-or-dash>
+//	L|<idA>|<idB>|<rel>|<delay-seconds>
+//
+// Relationship codes follow CAIDA in the L records: -1 when idA is a
+// provider of idB (idB is idA's customer), 0 for a peer link.
+
+// Write serializes t.
+func Write(w io.Writer, t *Topology) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# bestofboth topology v1")
+	for _, n := range t.Nodes {
+		prefix := "-"
+		if n.Prefix.IsValid() {
+			prefix = n.Prefix.String()
+		}
+		site := n.Site
+		if site == "" {
+			site = "-"
+		}
+		fmt.Fprintf(bw, "N|%d|%d|%s|%d|%g|%g|%s|%s\n",
+			n.ID, n.ASN, n.Name, n.Class, n.Loc.X, n.Loc.Y, prefix, site)
+	}
+	type edge struct {
+		a, b  NodeID
+		rel   int
+		delay float64
+	}
+	var edges []edge
+	for _, n := range t.Nodes {
+		for _, adj := range n.Adj {
+			if adj.To < n.ID {
+				continue // one record per link
+			}
+			var rel int
+			switch adj.Rel {
+			case RelCustomer:
+				rel = -1 // n provides transit to adj.To
+			case RelPeer:
+				rel = 0
+			case RelProvider:
+				// store from the provider side for CAIDA compatibility
+				edges = append(edges, edge{adj.To, n.ID, -1, adj.Delay})
+				continue
+			}
+			edges = append(edges, edge{n.ID, adj.To, rel, adj.Delay})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	for _, e := range edges {
+		fmt.Fprintf(bw, "L|%d|%d|%d|%g\n", e.a, e.b, e.rel, e.delay)
+	}
+	return bw.Flush()
+}
+
+// Read parses a topology written by Write.
+func Read(r io.Reader) (*Topology, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		switch fields[0] {
+		case "N":
+			if len(fields) != 9 {
+				return nil, fmt.Errorf("line %d: N record needs 9 fields, got %d", lineno, len(fields))
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad id: %v", lineno, err)
+			}
+			asn, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad asn: %v", lineno, err)
+			}
+			class, err := strconv.Atoi(fields[4])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad class: %v", lineno, err)
+			}
+			x, err := strconv.ParseFloat(fields[5], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad x: %v", lineno, err)
+			}
+			y, err := strconv.ParseFloat(fields[6], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad y: %v", lineno, err)
+			}
+			got := b.AddNode(ASN(asn), fields[3], Class(class), Point{x, y})
+			if int(got) != id {
+				return nil, fmt.Errorf("line %d: node id %d out of order (expected %d)", lineno, id, got)
+			}
+			if fields[7] != "-" {
+				p, err := netip.ParsePrefix(fields[7])
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad prefix: %v", lineno, err)
+				}
+				b.SetPrefix(got, p)
+			}
+			if fields[8] != "-" {
+				b.SetSite(got, fields[8])
+			}
+		case "L":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("line %d: L record needs 5 fields, got %d", lineno, len(fields))
+			}
+			a, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad endpoint: %v", lineno, err)
+			}
+			bid, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad endpoint: %v", lineno, err)
+			}
+			relCode, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad rel: %v", lineno, err)
+			}
+			delay, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad delay: %v", lineno, err)
+			}
+			var rel Rel
+			switch relCode {
+			case -1:
+				rel = RelCustomer // a is provider of b: from a's view, b is customer
+			case 0:
+				rel = RelPeer
+			default:
+				return nil, fmt.Errorf("line %d: unknown relationship code %d", lineno, relCode)
+			}
+			b.Link(NodeID(a), NodeID(bid), rel, delay)
+		default:
+			return nil, fmt.Errorf("line %d: unknown record type %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}

@@ -1,0 +1,149 @@
+// Package trace reproduces the paper's reverse-path analysis (Appendix
+// C.1): for targets that proactive-prepending fails to steer, compare the
+// target's forwarding path toward a unicast prefix (announced only at the
+// intended site) with its path toward a prepended anycast prefix, identify
+// the diverging AS, and classify why the divergence happens — R&E next
+// hops, and relationship preference (customer > peer > provider) at the
+// diverging AS.
+//
+// The paper measures these paths with reverse traceroute; the simulator
+// reads them directly from the FIB walks, which measure the same AS-level
+// paths without the Record-Route coverage loss the paper reports (§C.1.1).
+package trace
+
+import (
+	"fmt"
+	"net/netip"
+
+	"bestofboth/internal/dataplane"
+	"bestofboth/internal/topology"
+)
+
+// Divergence describes where and why one target's paths to the unicast and
+// prepended-anycast prefixes split.
+type Divergence struct {
+	Target topology.NodeID
+	// Diverging is the last AS common to both paths (§C.1.2).
+	Diverging topology.NodeID
+	// NextUnicast / NextAnycast are the first hops after the divergence on
+	// each path.
+	NextUnicast, NextAnycast topology.NodeID
+	// RelUnicast / RelAnycast are the diverging AS's relationships toward
+	// those next hops.
+	RelUnicast, RelAnycast topology.Rel
+	// AnycastViaRE reports whether the anycast-side next hop is an R&E
+	// network while the unicast side goes commercial.
+	AnycastViaRE bool
+	// ExplainedByRelationship reports whether the divergence follows
+	// standard BGP business preference: the anycast-side link is strictly
+	// preferred (customer > peer > provider) over the unicast-side link.
+	ExplainedByRelationship bool
+}
+
+// Result aggregates the §C.1.3 statistics.
+type Result struct {
+	// Compared is the number of targets with measurable paths to both
+	// prefixes.
+	Compared int
+	// ToIntended is how many of them route to the intended site on the
+	// anycast prefix.
+	ToIntended int
+	// Diverged holds one entry per target that routes elsewhere.
+	Diverged []Divergence
+	// ViaRE counts divergences where the anycast path turns into an R&E
+	// network while unicast goes commercial.
+	ViaRE int
+	// ByRelationship counts divergences explained by relationship
+	// preference.
+	ByRelationship int
+	// RelationshipComparable counts divergences where both links could be
+	// classified.
+	RelationshipComparable int
+}
+
+// relRank orders relationships by export preference: customer routes are
+// most preferred.
+func relRank(r topology.Rel) int {
+	switch r {
+	case topology.RelCustomer:
+		return 2
+	case topology.RelPeer:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Analyze walks each target's forwarding paths to the unicast address
+// (announced only at the intended site) and the prepended-anycast address,
+// then classifies every divergence. intended is the node that must attract
+// the traffic for steering to count as successful.
+func Analyze(plane *dataplane.Plane, topo *topology.Topology, targets []topology.NodeID,
+	unicastAddr, anycastAddr netip.Addr, intended topology.NodeID) (*Result, error) {
+	res := &Result{}
+	for _, tgt := range targets {
+		uPath := plane.Forward(tgt, unicastAddr)
+		aPath := plane.Forward(tgt, anycastAddr)
+		if !uPath.Delivered || !aPath.Delivered {
+			continue // unmeasurable, like targets without Record-Route support
+		}
+		res.Compared++
+		if aPath.Dest == intended {
+			res.ToIntended++
+			continue
+		}
+		d, err := classify(topo, tgt, uPath.Path, aPath.Path)
+		if err != nil {
+			return nil, err
+		}
+		res.Diverged = append(res.Diverged, d)
+		if d.AnycastViaRE {
+			res.ViaRE++
+		}
+		if d.RelUnicast != d.RelAnycast || relRank(d.RelAnycast) > 0 {
+			res.RelationshipComparable++
+			if d.ExplainedByRelationship {
+				res.ByRelationship++
+			}
+		}
+	}
+	return res, nil
+}
+
+// classify finds the diverging AS and compares the divergent links.
+func classify(topo *topology.Topology, tgt topology.NodeID, uPath, aPath []topology.NodeID) (Divergence, error) {
+	d := Divergence{Target: tgt}
+	// Find the last common node along the shared prefix of the two paths.
+	n := len(uPath)
+	if len(aPath) < n {
+		n = len(aPath)
+	}
+	idx := -1
+	for i := 0; i < n; i++ {
+		if uPath[i] != aPath[i] {
+			break
+		}
+		idx = i
+	}
+	if idx < 0 {
+		return d, fmt.Errorf("trace: paths share no origin for target %d", tgt)
+	}
+	if idx+1 >= len(uPath) || idx+1 >= len(aPath) {
+		// One path is a prefix of the other: the "divergence" is the
+		// delivery point itself; classify against the last common node.
+		d.Diverging = uPath[idx]
+		return d, nil
+	}
+	d.Diverging = uPath[idx]
+	d.NextUnicast = uPath[idx+1]
+	d.NextAnycast = aPath[idx+1]
+	relU, okU := topo.Adjacent(d.Diverging, d.NextUnicast)
+	relA, okA := topo.Adjacent(d.Diverging, d.NextAnycast)
+	if !okU || !okA {
+		return d, fmt.Errorf("trace: divergence over non-adjacent hop at node %d", d.Diverging)
+	}
+	d.RelUnicast, d.RelAnycast = relU, relA
+	d.AnycastViaRE = topo.Node(d.NextAnycast).Class.IsRE() && !topo.Node(d.NextUnicast).Class.IsRE()
+	d.ExplainedByRelationship = relRank(relA) > relRank(relU)
+	return d, nil
+}

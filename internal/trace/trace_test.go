@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"net/netip"
+	"testing"
+
+	"bestofboth/internal/bgp"
+	"bestofboth/internal/dataplane"
+	"bestofboth/internal/netsim"
+	"bestofboth/internal/topology"
+)
+
+var (
+	uPrefix = netip.MustParsePrefix("184.164.249.0/24")
+	aPrefix = netip.MustParsePrefix("184.164.250.0/24")
+	uAddr   = netip.MustParseAddr("184.164.249.10")
+	aAddr   = netip.MustParseAddr("184.164.250.10")
+)
+
+// c1Topo reproduces the Appendix C.1 situation in miniature:
+//
+//	      T (transit)
+//	     /|
+//	(peer)|(customer)
+//	   /  |
+//	  W   R (R&E gigapop)
+//	  |   |
+//	 S1   S2         two CDN sites
+//	  target is customer of T
+//
+// S1 announces u (unicast) and a (un-prepended); S2 announces a with
+// prepending via R. T prefers its customer link to R over its peer link to
+// W, so a-traffic diverges to S2 while u-traffic goes to S1.
+func c1Topo(t *testing.T) (*topology.Topology, map[string]topology.NodeID) {
+	t.Helper()
+	b := topology.NewBuilder()
+	ids := map[string]topology.NodeID{}
+	add := func(name string, asn topology.ASN, class topology.Class, x float64) {
+		ids[name] = b.AddNode(asn, name, class, topology.Point{X: x})
+	}
+	add("T", 10, topology.ClassTransit, 0)
+	add("W", 20, topology.ClassTransit, 1)
+	add("R", 30, topology.ClassREN, 2)
+	add("S1", 47065, topology.ClassCDN, 3)
+	add("S2", 47065, topology.ClassCDN, 4)
+	add("tgt", 50, topology.ClassStub, 5)
+	b.Link(ids["T"], ids["W"], topology.RelPeer, 0.001)
+	b.Link(ids["R"], ids["T"], topology.RelProvider, 0.001)
+	b.Link(ids["S1"], ids["W"], topology.RelProvider, 0.001)
+	b.Link(ids["S2"], ids["R"], topology.RelProvider, 0.001)
+	b.Link(ids["tgt"], ids["T"], topology.RelProvider, 0.001)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, ids
+}
+
+func TestAnalyzeClassifiesRelationshipDivergence(t *testing.T) {
+	topo, ids := c1Topo(t)
+	sim := netsim.New(1)
+	net := bgp.New(sim, topo, bgp.Config{MRAI: 30, MRAIJitter: 0.2, ProcMin: 0.01, ProcMax: 0.05})
+	plane := dataplane.New(net)
+
+	net.Originate(ids["S1"], uPrefix, nil)
+	net.Originate(ids["S1"], aPrefix, nil)
+	net.Originate(ids["S2"], aPrefix, &bgp.OriginPolicy{Prepend: 5})
+	sim.Run()
+
+	res, err := Analyze(plane, topo, []topology.NodeID{ids["tgt"]}, uAddr, aAddr, ids["S1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compared != 1 || res.ToIntended != 0 || len(res.Diverged) != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	d := res.Diverged[0]
+	if d.Diverging != ids["T"] {
+		t.Fatalf("diverging AS = %d, want T", d.Diverging)
+	}
+	if d.NextUnicast != ids["W"] || d.NextAnycast != ids["R"] {
+		t.Fatalf("next hops = %d, %d", d.NextUnicast, d.NextAnycast)
+	}
+	if d.RelUnicast != topology.RelPeer || d.RelAnycast != topology.RelCustomer {
+		t.Fatalf("relationships = %v, %v", d.RelUnicast, d.RelAnycast)
+	}
+	if !d.ExplainedByRelationship {
+		t.Fatal("customer-over-peer divergence not flagged as relationship-explained")
+	}
+	if !d.AnycastViaRE {
+		t.Fatal("R&E next hop not flagged")
+	}
+	if res.ViaRE != 1 || res.ByRelationship != 1 || res.RelationshipComparable != 1 {
+		t.Fatalf("aggregates = %+v", res)
+	}
+}
+
+func TestAnalyzeCountsIntended(t *testing.T) {
+	topo, ids := c1Topo(t)
+	sim := netsim.New(1)
+	net := bgp.New(sim, topo, bgp.Config{MRAI: 30, MRAIJitter: 0.2, ProcMin: 0.01, ProcMax: 0.05})
+	plane := dataplane.New(net)
+	// Only S1 announces both prefixes: no divergence possible.
+	net.Originate(ids["S1"], uPrefix, nil)
+	net.Originate(ids["S1"], aPrefix, nil)
+	sim.Run()
+	res, err := Analyze(plane, topo, []topology.NodeID{ids["tgt"]}, uAddr, aAddr, ids["S1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compared != 1 || res.ToIntended != 1 || len(res.Diverged) != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestAnalyzeSkipsUnmeasurable(t *testing.T) {
+	topo, ids := c1Topo(t)
+	sim := netsim.New(1)
+	net := bgp.New(sim, topo, bgp.Config{MRAI: 30, MRAIJitter: 0.2, ProcMin: 0.01, ProcMax: 0.05})
+	plane := dataplane.New(net)
+	net.Originate(ids["S1"], uPrefix, nil) // anycast prefix never announced
+	sim.Run()
+	res, err := Analyze(plane, topo, []topology.NodeID{ids["tgt"]}, uAddr, aAddr, ids["S1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compared != 0 {
+		t.Fatalf("unmeasurable target counted: %+v", res)
+	}
+}
+
+func TestRelRank(t *testing.T) {
+	if relRank(topology.RelCustomer) <= relRank(topology.RelPeer) ||
+		relRank(topology.RelPeer) <= relRank(topology.RelProvider) {
+		t.Fatal("relationship ranking broken")
+	}
+}
