@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: tier1 vet race race-full bench bench-baseline
+
+# Tier-1 gate: must stay green (see ROADMAP.md).
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race tier: vet + race detector on the short-mode matrix.
+race: vet
+	$(GO) test -race -short ./...
+
+# Full race run (slow; includes the paper-headline integration test).
+race-full: vet
+	$(GO) test -race ./...
+
+# Figure-2 + convergence benchmarks with allocation stats.
+bench:
+	$(GO) test -bench 'Figure2|BGPConvergence' -benchmem -run '^$$'
+
+# Capture a before/after baseline for perf work.
+bench-baseline:
+	$(GO) test -bench 'Figure2|BGPConvergence' -benchmem -run '^$$' | tee bench-baseline.txt

@@ -81,6 +81,39 @@ func BenchmarkFigure2(b *testing.B) {
 	}
 }
 
+var benchFig2Techs = []core.Technique{
+	core.ProactiveSuperprefix{},
+	core.ReactiveAnycast{},
+	core.ProactivePrepending{Prepends: 3},
+	core.Anycast{},
+}
+
+// BenchmarkFigure2Sequential pins the historical execution mode — one run
+// at a time, every run deploying and converging its own world from scratch —
+// as the baseline for the runner's speedup.
+func BenchmarkFigure2Sequential(b *testing.B) {
+	sel := getSelection(b)
+	r := &experiment.Runner{Workers: 1, DisableReuse: true}
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Figure2(benchConfig(1), sel, benchFig2Techs, benchSites, benchFailover()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2Parallel is the runner's default mode: GOMAXPROCS workers
+// with converged-world reuse. Results are bit-identical to Sequential (see
+// TestRunnerDeterminismAcrossWorkers); only the wall clock differs.
+func BenchmarkFigure2Parallel(b *testing.B) {
+	sel := getSelection(b)
+	r := &experiment.Runner{}
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Figure2(benchConfig(1), sel, benchFig2Techs, benchSites, benchFailover()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTable1 regenerates the §5.4.2 traffic-control table and reports
 // the mean steerable share at both prepend depths.
 func BenchmarkTable1(b *testing.B) {

@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -46,6 +47,7 @@ type options struct {
 	ttl        uint
 	clients    int
 	trials     int
+	workers    int
 	jsonOut    string
 
 	report *experiment.Report
@@ -63,6 +65,8 @@ func main() {
 	flag.UintVar(&opts.ttl, "ttl", 600, "DNS record TTL for unicast-dns (seconds)")
 	flag.IntVar(&opts.clients, "clients", 2000, "client population for unicast-dns")
 	flag.IntVar(&opts.trials, "trials", 3, "withdrawal/announcement trials per origin (fig3/fig4)")
+	flag.IntVar(&opts.workers, "workers", runtime.NumCPU(),
+		"concurrent failover runs (1 = sequential; results are identical at any worker count)")
 	flag.StringVar(&opts.jsonOut, "json", "", "also write results as JSON to this file")
 	flag.Parse()
 
@@ -90,6 +94,11 @@ func (o options) worldConfig() experiment.WorldConfig {
 		}
 	}
 	return cfg
+}
+
+// runner builds the experiment runner honoring -workers.
+func (o options) runner() *experiment.Runner {
+	return &experiment.Runner{Workers: o.workers}
 }
 
 func (o options) failoverConfig() experiment.FailoverConfig {
@@ -222,7 +231,7 @@ func runFig2(cfg experiment.WorldConfig, sel *experiment.Selection, o options, t
 		}
 	}
 	fmt.Println("\n=== Figure 2: reconnection and failover time per technique ===")
-	pairs, err := experiment.Figure2(cfg, sel, techs, o.siteList(), o.failoverConfig())
+	pairs, err := o.runner().Figure2(cfg, sel, techs, o.siteList(), o.failoverConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -310,7 +319,7 @@ func runFig4(cfg experiment.WorldConfig, o options) error {
 
 func runFig5(cfg experiment.WorldConfig, sel *experiment.Selection, o options) error {
 	fmt.Println("\n=== Figure 5: prepend depth vs failover (Appendix C.2) ===")
-	pairs, err := experiment.Figure5(cfg, sel, o.siteList(), o.failoverConfig())
+	pairs, err := o.runner().Figure5(cfg, sel, o.siteList(), o.failoverConfig())
 	if err != nil {
 		return err
 	}
@@ -358,11 +367,13 @@ func runFig2Sites(cfg experiment.WorldConfig, sel *experiment.Selection, o optio
 		Stats    experiment.StabilityStats `json:"stability"`
 	}
 	var exported []siteOut
-	for _, site := range o.siteList() {
-		r, err := experiment.RunFailover(cfg, sel, core.ReactiveAnycast{}, site, fc)
-		if err != nil {
-			return err
-		}
+	sites := o.siteList()
+	matrix, err := o.runner().RunMatrix(cfg, sel, []core.Technique{core.ReactiveAnycast{}}, sites, fc)
+	if err != nil {
+		return err
+	}
+	for si, site := range sites {
+		r := matrix[0][si]
 		pair := experiment.Figure2Single(r, fc)
 		st := pair.Stability
 		t.AddRow(site,
@@ -382,7 +393,7 @@ func runFig2Sites(cfg experiment.WorldConfig, sel *experiment.Selection, o optio
 
 func runPrependSweep(cfg experiment.WorldConfig, sel *experiment.Selection, o options) error {
 	fmt.Println("\n=== Prepend-depth sweep: control vs failover (§4 tradeoff) ===")
-	points, err := experiment.PrependSweep(cfg, sel, []int{1, 2, 3, 4, 5, 7}, o.siteList(), o.failoverConfig())
+	points, err := o.runner().PrependSweep(cfg, sel, []int{1, 2, 3, 4, 5, 7}, o.siteList(), o.failoverConfig())
 	if err != nil {
 		return err
 	}

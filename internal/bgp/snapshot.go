@@ -1,0 +1,156 @@
+package bgp
+
+import (
+	"fmt"
+	"maps"
+	"net/netip"
+	"slices"
+
+	"bestofboth/internal/netsim"
+)
+
+// NetworkSnapshot is a deep copy of all per-speaker protocol state at a
+// quiescent moment: adj-RIBs-in/out, loc-RIB best routes, origination
+// policies, MRAI pacing deadlines, damping penalties, and the TCP in-order
+// delivery clocks. Together with a netsim.Snapshot of the kernel it is the
+// complete converged-world state of the control plane.
+//
+// Snapshots can only be taken when no simulation events are pending (in
+// flight updates hold closures that cannot be transplanted), which is
+// exactly the state a fully converged network leaves behind. A snapshot is
+// immutable after capture and may be restored into any number of freshly
+// built networks, concurrently.
+type NetworkSnapshot struct {
+	messageCount uint64
+	speakers     []speakerSnapshot
+}
+
+type speakerSnapshot struct {
+	lastDeliver     []netsim.Seconds
+	lastFeedDeliver netsim.Seconds
+	prefixes        []prefixSnapshot
+}
+
+type prefixSnapshot struct {
+	prefix      netip.Prefix
+	in          []*Route
+	out         []*Route
+	nextAllowed []netsim.Seconds
+	best        *Route
+	origin      *OriginPolicy
+	damp        []dampState
+}
+
+func cloneRoutes(rs []*Route) []*Route {
+	out := make([]*Route, len(rs))
+	for i, r := range rs {
+		if r != nil {
+			out[i] = r.Clone()
+		}
+	}
+	return out
+}
+
+func cloneRoute(r *Route) *Route {
+	if r == nil {
+		return nil
+	}
+	return r.Clone()
+}
+
+func cloneOrigin(p *OriginPolicy) *OriginPolicy {
+	if p == nil {
+		return nil
+	}
+	c := *p
+	c.Communities = slices.Clone(p.Communities)
+	if p.PerNeighbor != nil {
+		c.PerNeighbor = maps.Clone(p.PerNeighbor)
+	}
+	return &c
+}
+
+// Snapshot deep-copies the network's protocol state. It fails if simulation
+// events are pending: snapshot only a converged network.
+func (n *Network) Snapshot() (*NetworkSnapshot, error) {
+	if pending := n.sim.Pending(); pending != 0 {
+		return nil, fmt.Errorf("bgp: cannot snapshot with %d pending events", pending)
+	}
+	snap := &NetworkSnapshot{
+		messageCount: n.MessageCount,
+		speakers:     make([]speakerSnapshot, len(n.speakers)),
+	}
+	for i, sp := range n.speakers {
+		ss := speakerSnapshot{
+			lastDeliver:     slices.Clone(sp.lastDeliver),
+			lastFeedDeliver: sp.lastFeedDeliver,
+			prefixes:        make([]prefixSnapshot, 0, len(sp.prefixes)),
+		}
+		for _, p := range sp.KnownPrefixes() { // sorted: deterministic restore order
+			st := sp.prefixes[p]
+			ss.prefixes = append(ss.prefixes, prefixSnapshot{
+				prefix:      p,
+				in:          cloneRoutes(st.in),
+				out:         cloneRoutes(st.out),
+				nextAllowed: slices.Clone(st.nextAllowed),
+				best:        cloneRoute(st.best),
+				origin:      cloneOrigin(st.origin),
+				damp:        slices.Clone(st.damp),
+			})
+		}
+		snap.speakers[i] = ss
+	}
+	return snap, nil
+}
+
+// Restore installs a snapshot into a freshly built network over an
+// identically shaped topology (same node count and adjacency layout, e.g.
+// regenerated from the same GenConfig). All routes and policies are
+// deep-copied out of the snapshot, so concurrent restores from one snapshot
+// are safe and restored networks never share mutable state.
+//
+// Loc-RIB best routes are replayed to OnBestChange subscribers (rebuilding
+// data-plane FIBs) but NOT to collector feeds: feed deliveries are
+// simulation events, and the archive a collector accumulated up to the
+// snapshot point is restored separately.
+func (n *Network) Restore(snap *NetworkSnapshot) error {
+	if pending := n.sim.Pending(); pending != 0 {
+		return fmt.Errorf("bgp: cannot restore with %d pending events", pending)
+	}
+	if len(snap.speakers) != len(n.speakers) {
+		return fmt.Errorf("bgp: snapshot has %d speakers, network has %d", len(snap.speakers), len(n.speakers))
+	}
+	for i, sp := range n.speakers {
+		if len(sp.prefixes) != 0 {
+			return fmt.Errorf("bgp: speaker %d already has prefix state; restore requires a fresh network", i)
+		}
+		if len(snap.speakers[i].lastDeliver) != len(sp.node.Adj) {
+			return fmt.Errorf("bgp: speaker %d adjacency count mismatch", i)
+		}
+	}
+	n.MessageCount = snap.messageCount
+	for i, ss := range snap.speakers {
+		sp := n.speakers[i]
+		copy(sp.lastDeliver, ss.lastDeliver)
+		sp.lastFeedDeliver = ss.lastFeedDeliver
+		for _, ps := range ss.prefixes {
+			st := &prefixState{
+				prefix:      ps.prefix,
+				in:          cloneRoutes(ps.in),
+				out:         cloneRoutes(ps.out),
+				nextAllowed: slices.Clone(ps.nextAllowed),
+				pending:     make([]bool, len(ps.in)),
+				best:        cloneRoute(ps.best),
+				origin:      cloneOrigin(ps.origin),
+				damp:        slices.Clone(ps.damp),
+			}
+			sp.prefixes[ps.prefix] = st
+			if st.best != nil {
+				for _, fn := range n.onBest {
+					fn(sp.node.ID, ps.prefix, st.best)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package bgp
+
+import (
+	"net/netip"
+	"testing"
+
+	"bestofboth/internal/netsim"
+	"bestofboth/internal/topology"
+)
+
+// converge originates testPrefix with the given policy and drains the queue.
+func convergeLine(t *testing.T, seed int64, pol *OriginPolicy) (*netsim.Sim, *Network) {
+	t.Helper()
+	sim := netsim.New(seed)
+	net := New(sim, lineTopo(t), quickCfg())
+	if err := net.Originate(0, testPrefix, pol); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	return sim, net
+}
+
+// TestNetworkSnapshotRestoreEquivalence converges a network, snapshots it,
+// restores into a fresh network, and checks that post-snapshot work (a
+// withdrawal) plays out identically on the original and the restored copy.
+func TestNetworkSnapshotRestoreEquivalence(t *testing.T) {
+	const seed = 11
+	pol := &OriginPolicy{Prepend: 2, Communities: []uint32{64512}}
+	sim1, net1 := convergeLine(t, seed, pol)
+	simSnap, err := sim1.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	netSnap, err := net1.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sim2 := netsim.New(seed)
+	net2 := New(sim2, lineTopo(t), quickCfg())
+	bestReplays := 0
+	net2.OnBestChange(func(topology.NodeID, netip.Prefix, *Route) { bestReplays++ })
+	if err := sim2.Restore(simSnap); err != nil {
+		t.Fatal(err)
+	}
+	if err := net2.Restore(netSnap); err != nil {
+		t.Fatal(err)
+	}
+
+	if net2.MessageCount != net1.MessageCount {
+		t.Fatalf("restored MessageCount = %d, want %d", net2.MessageCount, net1.MessageCount)
+	}
+	if bestReplays != 3 {
+		t.Fatalf("restore replayed %d best routes to OnBestChange, want 3", bestReplays)
+	}
+	for id := topology.NodeID(0); id < 3; id++ {
+		b1, b2 := net1.Speaker(id).Best(testPrefix), net2.Speaker(id).Best(testPrefix)
+		if (b1 == nil) != (b2 == nil) {
+			t.Fatalf("node %d best-route presence differs after restore", id)
+		}
+		if b1 == nil {
+			continue
+		}
+		if len(b1.Path) != len(b2.Path) {
+			t.Fatalf("node %d path length differs: %v vs %v", id, b1.Path, b2.Path)
+		}
+		for i := range b1.Path {
+			if b1.Path[i] != b2.Path[i] {
+				t.Fatalf("node %d path differs: %v vs %v", id, b1.Path, b2.Path)
+			}
+		}
+	}
+
+	// Identical post-snapshot work must play out identically.
+	net1.Withdraw(0, testPrefix)
+	sim1.Run()
+	net2.Withdraw(0, testPrefix)
+	sim2.Run()
+	if sim1.Now() != sim2.Now() || sim1.Steps() != sim2.Steps() {
+		t.Fatalf("post-restore trajectories diverge: now %v/%v steps %d/%d",
+			sim1.Now(), sim2.Now(), sim1.Steps(), sim2.Steps())
+	}
+	if net1.MessageCount != net2.MessageCount {
+		t.Fatalf("post-restore MessageCount diverges: %d vs %d", net1.MessageCount, net2.MessageCount)
+	}
+	for id := topology.NodeID(0); id < 3; id++ {
+		if net2.Speaker(id).Best(testPrefix) != nil {
+			t.Fatalf("node %d still has a route after withdrawal on restored network", id)
+		}
+	}
+}
+
+// TestNetworkSnapshotIsolation restores the same snapshot into two networks
+// and checks that they share no mutable route state with each other or with
+// the snapshot.
+func TestNetworkSnapshotIsolation(t *testing.T) {
+	sim1, net1 := convergeLine(t, 5, nil)
+	if _, err := sim1.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := net1.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restore := func() *Network {
+		sim := netsim.New(5)
+		net := New(sim, lineTopo(t), quickCfg())
+		if err := net.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	a, b := restore(), restore()
+
+	ra := a.Speaker(2).Best(testPrefix)
+	rb := b.Speaker(2).Best(testPrefix)
+	if ra == rb {
+		t.Fatal("restored networks share a *Route")
+	}
+	ra.Path[0] = 9999
+	if rb.Path[0] == 9999 {
+		t.Fatal("restored networks share a Path slice")
+	}
+	c := restore()
+	if c.Speaker(2).Best(testPrefix).Path[0] == 9999 {
+		t.Fatal("mutation of a restored network leaked into the snapshot")
+	}
+}
+
+func TestNetworkSnapshotRefusals(t *testing.T) {
+	sim := netsim.New(1)
+	net := New(sim, lineTopo(t), quickCfg())
+	if err := net.Originate(0, testPrefix, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Snapshot(); err == nil {
+		t.Fatal("snapshot with pending events accepted")
+	}
+	sim.Run()
+	snap, err := net.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restoring over a network that already has prefix state must fail.
+	if err := net.Restore(snap); err == nil {
+		t.Fatal("restore over a non-fresh network accepted")
+	}
+}

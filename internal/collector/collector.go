@@ -79,6 +79,27 @@ func (c *Collector) RecordsFor(prefix netip.Prefix) []Record {
 // multiple sequential experiments.
 func (c *Collector) Clear() { c.archive = nil }
 
+// SnapshotArchive deep-copies the archive (including AS paths) so the copy
+// can outlive, and be restored into, other collectors without sharing.
+func (c *Collector) SnapshotArchive() []Record {
+	out := make([]Record, len(c.archive))
+	for i, r := range c.archive {
+		r.Path = slices.Clone(r.Path)
+		out[i] = r
+	}
+	return out
+}
+
+// RestoreArchive replaces the archive with a deep copy of recs, so a
+// snapshot taken from a converged world can seed a freshly built collector.
+func (c *Collector) RestoreArchive(recs []Record) {
+	c.archive = make([]Record, len(recs))
+	for i, r := range recs {
+		r.Path = slices.Clone(r.Path)
+		c.archive[i] = r
+	}
+}
+
 // Visibility returns the fraction of peers that have a route to prefix at
 // time t, replaying the archive. This mirrors the RIPE Routing History
 // visibility metric the paper uses to flag withdrawals (Appendix A).

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"maps"
+	"slices"
+
+	"bestofboth/internal/dns"
+	"bestofboth/internal/netsim"
+)
+
+// Snapshot is a deep copy of the controller's mutable state: the deployed
+// technique, the live announcement ledger, failure/reaction bookkeeping, and
+// the DNS zone contents. Together with the BGP and kernel snapshots it lets
+// a converged deployment be rebuilt without re-running Deploy and the
+// convergence phase.
+//
+// Techniques are stateless value types (their configuration, e.g. prepend
+// depth, is immutable after construction), so the snapshot shares the
+// technique itself.
+type Snapshot struct {
+	technique      Technique
+	announced      []announcement
+	failed         map[string]bool
+	reacted        map[string]bool
+	dualStack      bool
+	detectionDelay netsim.Seconds
+	dnsTTL         uint32
+	zone           dns.ZoneSnapshot
+}
+
+// Snapshot deep-copies the controller state.
+func (c *CDN) Snapshot() *Snapshot {
+	return &Snapshot{
+		technique:      c.technique,
+		announced:      slices.Clone(c.announced),
+		failed:         maps.Clone(c.failed),
+		reacted:        maps.Clone(c.reacted),
+		dualStack:      c.dualStack,
+		detectionDelay: c.DetectionDelay,
+		dnsTTL:         c.DNSTTL,
+		zone:           c.auth.SnapshotZone(),
+	}
+}
+
+// Restore installs a snapshot into a freshly built CDN over the same
+// topology. The receiver must not have deployed a technique yet: Restore
+// replaces Deploy (the announcements the snapshot records are already in the
+// restored BGP state, so Setup must not run again).
+func (c *CDN) Restore(snap *Snapshot) error {
+	if c.technique != nil {
+		return fmt.Errorf("core: cannot restore over deployed technique %s", c.technique.Name())
+	}
+	if len(c.sites) == 0 {
+		return fmt.Errorf("core: cannot restore into a CDN with no sites")
+	}
+	c.technique = snap.technique
+	c.announced = slices.Clone(snap.announced)
+	c.failed = maps.Clone(snap.failed)
+	c.reacted = maps.Clone(snap.reacted)
+	c.DetectionDelay = snap.detectionDelay
+	c.DNSTTL = snap.dnsTTL
+	if snap.dualStack {
+		c.dualStack = true
+		for i, s := range c.sites {
+			s.Prefix6 = SitePrefix6(i)
+			s.Addr6 = ServiceAddr6(s.Prefix6)
+		}
+	}
+	c.auth.RestoreZone(snap.zone)
+	// Re-sync the data plane's notion of which sites forward: CrashSite sets
+	// the node down, and that state lives in the plane, not the controller.
+	for code := range c.failed {
+		if s := c.byCode[code]; s != nil {
+			c.plane.SetDown(s.Node, true)
+		}
+	}
+	return nil
+}

@@ -27,14 +27,26 @@ func (c *Capture) Add(e CaptureEntry) { c.entries = append(c.entries, e) }
 // Entries returns all recorded entries in arrival order.
 func (c *Capture) Entries() []CaptureEntry { return c.entries }
 
-// ByTarget groups entries per target, each group sorted by time.
+// ByTarget groups entries per target, each group sorted by time. A counting
+// pass presizes the map and every group so the grouping allocates exactly
+// once per target instead of growing incrementally.
 func (c *Capture) ByTarget() map[topology.NodeID][]CaptureEntry {
-	out := make(map[topology.NodeID][]CaptureEntry)
+	counts := make(map[topology.NodeID]int)
 	for _, e := range c.entries {
-		out[e.Target] = append(out[e.Target], e)
+		counts[e.Target]++
+	}
+	out := make(map[topology.NodeID][]CaptureEntry, len(counts))
+	for _, e := range c.entries {
+		g, ok := out[e.Target]
+		if !ok {
+			g = make([]CaptureEntry, 0, counts[e.Target])
+		}
+		out[e.Target] = append(g, e)
 	}
 	for _, es := range out {
-		sort.Slice(es, func(i, j int) bool { return es[i].Time < es[j].Time })
+		if !sort.SliceIsSorted(es, func(i, j int) bool { return es[i].Time < es[j].Time }) {
+			sort.Slice(es, func(i, j int) bool { return es[i].Time < es[j].Time })
+		}
 	}
 	return out
 }

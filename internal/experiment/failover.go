@@ -1,7 +1,9 @@
 package experiment
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"bestofboth/internal/core"
 	"bestofboth/internal/dataplane"
@@ -34,6 +36,11 @@ type FailoverConfig struct {
 	// is set (defaults 0.5 s × 3).
 	MonitorInterval float64
 	MonitorMisses   int
+	// RetainWorld keeps the run's World on the RunResult for post-hoc
+	// inspection (collector archives, catchments). Off by default: a world
+	// pins an entire simulated Internet in memory, which matters once many
+	// runs are aggregated or in flight.
+	RetainWorld bool
 }
 
 // DefaultFailoverConfig returns the paper's schedule.
@@ -78,7 +85,8 @@ type RunResult struct {
 	// DetectedAt is the emergent detection latency when the run used the
 	// health monitor (seconds after the crash; zero otherwise).
 	DetectedAt float64
-	// World is retained for collector-side inspection.
+	// World is the run's simulation instance, retained only when
+	// FailoverConfig.RetainWorld is set.
 	World *World
 }
 
@@ -114,6 +122,17 @@ func (r *RunResult) FailoverSamples(clamp float64) []float64 {
 // convergence, find the controllable targets for the site, fail it, probe
 // every ~1.5 s for ~600 s, and compute reconnection/failover per target.
 func RunFailover(cfg WorldConfig, sel *Selection, tech core.Technique, failCode string, fc FailoverConfig) (*RunResult, error) {
+	w, err := newDeployedWorld(cfg, tech, fc.ConvergeTime)
+	if err != nil {
+		return nil, err
+	}
+	return failoverOn(w, sel, tech, failCode, fc)
+}
+
+// newDeployedWorld builds a world, deploys the technique, and waits for
+// convergence — the shared pre-failure trajectory of every failover run of
+// one technique (and what a WorldSnapshot captures).
+func newDeployedWorld(cfg WorldConfig, tech core.Technique, convergeTime float64) (*World, error) {
 	w, err := NewWorld(cfg)
 	if err != nil {
 		return nil, err
@@ -121,8 +140,13 @@ func RunFailover(cfg WorldConfig, sel *Selection, tech core.Technique, failCode 
 	if err := w.CDN.Deploy(tech); err != nil {
 		return nil, fmt.Errorf("experiment: deploying %s: %w", tech.Name(), err)
 	}
-	w.Converge(fc.ConvergeTime)
+	w.Converge(convergeTime)
+	return w, nil
+}
 
+// failoverOn runs the post-convergence part of the experiment on an already
+// deployed, converged world: fail the site, probe, analyze.
+func failoverOn(w *World, sel *Selection, tech core.Technique, failCode string, fc FailoverConfig) (*RunResult, error) {
 	failed := w.CDN.Site(failCode)
 	if failed == nil {
 		return nil, fmt.Errorf("experiment: unknown site %q", failCode)
@@ -154,7 +178,9 @@ func RunFailover(cfg WorldConfig, sel *Selection, tech core.Technique, failCode 
 		Technique:  tech.Name(),
 		FailedSite: failCode,
 		PoolSize:   len(pool),
-		World:      w,
+	}
+	if fc.RetainWorld {
+		res.World = w
 	}
 	res.Controllable = len(controllable)
 	if len(controllable) == 0 {
@@ -207,23 +233,30 @@ func RunFailover(cfg WorldConfig, sel *Selection, tech core.Technique, failCode 
 	}
 
 	// Per-target sent sequences, in emission order.
-	sentByTarget := map[topology.NodeID][]uint64{}
+	sentByTarget := make(map[topology.NodeID][]uint64, len(controllable))
 	for _, s := range prober.Sent {
 		sentByTarget[s.Target] = append(sentByTarget[s.Target], s.Seq)
 	}
 	byTarget := prober.Capture.ByTarget()
+	res.Outcomes = make([]TargetOutcome, 0, len(controllable))
+	var scratch []dataplane.CaptureEntry // reused per-target seq index
 	for _, id := range controllable {
-		res.Outcomes = append(res.Outcomes, analyzeTarget(w, id, sentByTarget[id], byTarget[id], t0))
+		var o TargetOutcome
+		o, scratch = analyzeTarget(w, id, sentByTarget[id], byTarget[id], t0, scratch)
+		res.Outcomes = append(res.Outcomes, o)
 	}
 	return res, nil
 }
 
 // analyzeTarget derives the §5.4.1 metrics for one target by matching its
-// capture trace against the pings actually sent to it.
-func analyzeTarget(w *World, id topology.NodeID, sent []uint64, caps []dataplane.CaptureEntry, t0 float64) TargetOutcome {
+// capture trace against the pings actually sent to it. The scratch buffer
+// holds the target's captures re-sorted by sequence number; callers pass it
+// back in across targets so one run allocates the index once instead of
+// building a map per target.
+func analyzeTarget(w *World, id topology.NodeID, sent []uint64, caps []dataplane.CaptureEntry, t0 float64, scratch []dataplane.CaptureEntry) (TargetOutcome, []dataplane.CaptureEntry) {
 	o := TargetOutcome{Target: id}
 	if len(caps) == 0 {
-		return o
+		return o, scratch
 	}
 	o.Reconnected = true
 	o.Reconnection = caps[0].Time - t0
@@ -238,22 +271,33 @@ func analyzeTarget(w *World, id topology.NodeID, sent []uint64, caps []dataplane
 		o.FinalSite = s
 	}
 
-	// Failover: the first reply after which the target neither loses a
-	// reply nor switches sites (§5.4.1). Index captures by sequence number
-	// and scan the per-target send schedule backward to find the start of
-	// the maximal suffix with no loss and a constant site. The suffix must
-	// extend through the final ping sent, otherwise the target ended the
-	// experiment disconnected.
-	bySeq := make(map[uint64]dataplane.CaptureEntry, len(caps))
-	for _, c := range caps {
-		bySeq[c.Seq] = c
+	// Index captures by sequence number: a seq-sorted slice searched in
+	// order, since sent sequences are emitted in ascending order.
+	scratch = append(scratch[:0], caps...)
+	slices.SortFunc(scratch, func(a, b dataplane.CaptureEntry) int {
+		return cmp.Compare(a.Seq, b.Seq)
+	})
+	find := func(seq uint64) (dataplane.CaptureEntry, bool) {
+		i, ok := slices.BinarySearchFunc(scratch, seq, func(e dataplane.CaptureEntry, s uint64) int {
+			return cmp.Compare(e.Seq, s)
+		})
+		if !ok {
+			return dataplane.CaptureEntry{}, false
+		}
+		return scratch[i], true
 	}
 
-	// Gaps: runs of missing replies after the first captured reply.
+	// Gaps: runs of missing replies after the first captured reply. One
+	// merge walk over the ascending send schedule and the seq-sorted
+	// captures.
 	inGap := false
 	seenFirst := false
+	j := 0
 	for _, seq := range sent {
-		_, got := bySeq[seq]
+		for j < len(scratch) && scratch[j].Seq < seq {
+			j++
+		}
+		got := j < len(scratch) && scratch[j].Seq == seq
 		if !seenFirst {
 			if got {
 				seenFirst = true
@@ -268,13 +312,18 @@ func analyzeTarget(w *World, id topology.NodeID, sent []uint64, caps []dataplane
 		}
 	}
 
-	lastCap, ok := bySeq[sent[len(sent)-1]]
+	// Failover: the first reply after which the target neither loses a
+	// reply nor switches sites (§5.4.1) — the start of the maximal suffix of
+	// the send schedule with no loss and a constant site. The suffix must
+	// extend through the final ping sent, otherwise the target ended the
+	// experiment disconnected.
+	lastCap, ok := find(sent[len(sent)-1])
 	if !ok {
-		return o // final ping lost: no stable suffix
+		return o, scratch // final ping lost: no stable suffix
 	}
 	start := lastCap
 	for i := len(sent) - 2; i >= 0; i-- {
-		c, ok := bySeq[sent[i]]
+		c, ok := find(sent[i])
 		if !ok || c.Site != lastCap.Site {
 			break
 		}
@@ -282,7 +331,7 @@ func analyzeTarget(w *World, id topology.NodeID, sent []uint64, caps []dataplane
 	}
 	o.FailedOver = true
 	o.Failover = start.Time - t0
-	return o
+	return o, scratch
 }
 
 func siteCode(w *World, node topology.NodeID) string {
@@ -315,34 +364,22 @@ func Figure2Single(r *RunResult, fc FailoverConfig) CDFPair {
 
 // Figure2 runs the full §5.2 matrix — every technique × every failed site —
 // and pools outcomes into per-technique reconnection and failover CDFs
-// across ⟨failed site, target⟩ pairs, reproducing Figure 2.
+// across ⟨failed site, target⟩ pairs, reproducing Figure 2. It delegates to
+// a default Runner: runs execute across GOMAXPROCS workers with
+// converged-world reuse, with results identical to the sequential
+// implementation.
 func Figure2(cfg WorldConfig, sel *Selection, techs []core.Technique, sites []string, fc FailoverConfig) ([]CDFPair, error) {
-	var out []CDFPair
-	for _, tech := range techs {
-		var recon, fail []float64
-		var outcomes []TargetOutcome
-		for _, site := range sites {
-			r, err := RunFailover(cfg, sel, tech, site, fc)
-			if err != nil {
-				return nil, err
-			}
-			recon = append(recon, r.ReconnectionSamples(fc.ProbeDuration)...)
-			fail = append(fail, r.FailoverSamples(fc.ProbeDuration)...)
-			outcomes = append(outcomes, r.Outcomes...)
-		}
-		out = append(out, CDFPair{
-			Technique:    tech.Name(),
-			Reconnection: stats.NewCDF(recon),
-			Failover:     stats.NewCDF(fail),
-			Stability:    Stability(outcomes),
-		})
-	}
-	return out, nil
+	return (&Runner{}).Figure2(cfg, sel, techs, sites, fc)
 }
 
 // Figure5 compares proactive-prepending at 3 and 5 prepends (Appendix C.2).
 func Figure5(cfg WorldConfig, sel *Selection, sites []string, fc FailoverConfig) ([]CDFPair, error) {
-	return Figure2(cfg, sel, []core.Technique{
+	return (&Runner{}).Figure5(cfg, sel, sites, fc)
+}
+
+// Figure5 is the Runner-backed variant of the free Figure5 function.
+func (r *Runner) Figure5(cfg WorldConfig, sel *Selection, sites []string, fc FailoverConfig) ([]CDFPair, error) {
+	return r.Figure2(cfg, sel, []core.Technique{
 		core.ProactivePrepending{Prepends: 3},
 		core.ProactivePrepending{Prepends: 5},
 	}, sites, fc)

@@ -1,0 +1,224 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"bestofboth/internal/core"
+	"bestofboth/internal/stats"
+)
+
+// Runner executes failover experiment matrices across a worker pool with
+// converged-world reuse.
+//
+// Every ⟨technique, failed site⟩ run is an independent simulation, so the
+// matrix parallelizes perfectly across GOMAXPROCS workers. On top of that,
+// all runs of one technique share the identical pre-failure trajectory —
+// deploy, then converge — so the Runner pays that phase once per technique
+// (on a template world), snapshots it, and materializes each per-site run
+// from the snapshot. Restored runs are bit-identical to fresh sequential
+// runs, so results do not depend on Workers or reuse in any way.
+//
+// The zero value is ready to use: Workers <= 0 runs GOMAXPROCS workers, and
+// reuse is on. Runner{Workers: 1, DisableReuse: true} reproduces the
+// historical strictly sequential behavior (at sequential cost).
+type Runner struct {
+	// Workers bounds the number of concurrently executing runs. <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// DisableReuse turns off converged-world snapshot reuse: every run
+	// deploys and converges its own world from scratch.
+	DisableReuse bool
+}
+
+func (r *Runner) workers() int {
+	if r == nil || r.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return r.Workers
+}
+
+// worldSnaps caches converged-world snapshots per ⟨world configuration,
+// technique, converge time⟩ across all Runner instances: repeated
+// invocations (benchmark iterations, figure 2 followed by figure 5 in one
+// process) reuse each other's converge work. Entries are built at most once;
+// concurrent requesters for the same key share one build.
+var worldSnaps = struct {
+	sync.Mutex
+	m map[string]*worldSnapEntry
+}{m: map[string]*worldSnapEntry{}}
+
+// worldSnapCap bounds retained snapshots; a figure-2 matrix needs one entry
+// per technique. Over-cap requests build without memoizing.
+const worldSnapCap = 32
+
+type worldSnapEntry struct {
+	once sync.Once
+	snap *WorldSnapshot
+	err  error
+}
+
+// snapKey canonicalizes the full converged-world identity. bgp.Config holds
+// a *DampingConfig, which %+v would render as a pointer address, so damping
+// is flattened explicitly; techniques are flat value structs, so their type
+// and formatted value identify them (including e.g. prepend depth).
+func snapKey(cfg WorldConfig, tech core.Technique, convergeTime float64) string {
+	cfg.fillDefaults()
+	damp := "<nil>"
+	if cfg.BGP.Damping != nil {
+		damp = fmt.Sprintf("%+v", *cfg.BGP.Damping)
+	}
+	flat := cfg.BGP
+	flat.Damping = nil
+	return fmt.Sprintf("seed=%d topo=%+v bgp=%+v damp=%s cdn=%+v peers=%d tech=%T%+v conv=%g",
+		cfg.Seed, cfg.Topology, flat, damp, cfg.CDN, cfg.CollectorPeers, tech, tech, convergeTime)
+}
+
+// buildSnapshot deploys and converges a template world and snapshots it.
+// A (nil, nil) return means the world cannot be snapshotted — convergence
+// did not drain the event queue within its deadline — and callers must fall
+// back to fresh full runs.
+func buildSnapshot(cfg WorldConfig, tech core.Technique, convergeTime float64) (*WorldSnapshot, error) {
+	w, err := newDeployedWorld(cfg, tech, convergeTime)
+	if err != nil {
+		return nil, err
+	}
+	if w.Sim.Pending() != 0 {
+		return nil, nil
+	}
+	snap, err := w.Snapshot()
+	if err != nil {
+		return nil, nil
+	}
+	return snap, nil
+}
+
+// convergedSnapshot returns the (possibly cached) converged snapshot for the
+// key, or nil when reuse is off or snapshotting is impossible.
+func (r *Runner) convergedSnapshot(cfg WorldConfig, tech core.Technique, convergeTime float64) (*WorldSnapshot, error) {
+	if r != nil && r.DisableReuse {
+		return nil, nil
+	}
+	key := snapKey(cfg, tech, convergeTime)
+	worldSnaps.Lock()
+	e, ok := worldSnaps.m[key]
+	if !ok {
+		if len(worldSnaps.m) >= worldSnapCap {
+			worldSnaps.Unlock()
+			return buildSnapshot(cfg, tech, convergeTime)
+		}
+		e = &worldSnapEntry{}
+		worldSnaps.m[key] = e
+	}
+	worldSnaps.Unlock()
+	e.once.Do(func() {
+		e.snap, e.err = buildSnapshot(cfg, tech, convergeTime)
+	})
+	return e.snap, e.err
+}
+
+// materialize produces a deployed, converged world ready for one failover
+// run: restored from the snapshot when one exists, built from scratch
+// otherwise.
+func materialize(cfg WorldConfig, tech core.Technique, convergeTime float64, snap *WorldSnapshot) (*World, error) {
+	if snap != nil {
+		return RestoreWorld(snap)
+	}
+	return newDeployedWorld(cfg, tech, convergeTime)
+}
+
+// RunMatrix executes every ⟨technique, failed site⟩ failover experiment and
+// returns results indexed [technique][site], matching the argument order.
+// Runs execute concurrently up to the worker bound; each run is an
+// independent deterministic simulation, so the results are identical for
+// any worker count.
+func (r *Runner) RunMatrix(cfg WorldConfig, sel *Selection, techs []core.Technique, sites []string, fc FailoverConfig) ([][]*RunResult, error) {
+	results := make([][]*RunResult, len(techs))
+	for i := range results {
+		results[i] = make([]*RunResult, len(sites))
+	}
+	sem := make(chan struct{}, r.workers())
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for ti := range techs {
+		wg.Add(1)
+		go func(ti int, tech core.Technique) {
+			defer wg.Done()
+			// Build (or fetch) the technique's converged template under a
+			// worker slot, then fan the per-site runs out across slots.
+			sem <- struct{}{}
+			snap, err := r.convergedSnapshot(cfg, tech, fc.ConvergeTime)
+			<-sem
+			if err != nil {
+				fail(err)
+				return
+			}
+			var swg sync.WaitGroup
+			for si := range sites {
+				swg.Add(1)
+				go func(si int, site string) {
+					defer swg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					w, err := materialize(cfg, tech, fc.ConvergeTime, snap)
+					if err != nil {
+						fail(err)
+						return
+					}
+					res, err := failoverOn(w, sel, tech, site, fc)
+					if err != nil {
+						fail(err)
+						return
+					}
+					mu.Lock()
+					results[ti][si] = res
+					mu.Unlock()
+				}(si, sites[si])
+			}
+			swg.Wait()
+		}(ti, techs[ti])
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// Figure2 is the Runner-backed §5.2 matrix: it pools the matrix's outcomes
+// into per-technique reconnection and failover CDFs in ⟨technique, site⟩
+// index order — the exact aggregation order of the sequential
+// implementation.
+func (r *Runner) Figure2(cfg WorldConfig, sel *Selection, techs []core.Technique, sites []string, fc FailoverConfig) ([]CDFPair, error) {
+	matrix, err := r.RunMatrix(cfg, sel, techs, sites, fc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CDFPair, 0, len(techs))
+	for ti, tech := range techs {
+		var recon, fail []float64
+		var outcomes []TargetOutcome
+		for si := range sites {
+			res := matrix[ti][si]
+			recon = append(recon, res.ReconnectionSamples(fc.ProbeDuration)...)
+			fail = append(fail, res.FailoverSamples(fc.ProbeDuration)...)
+			outcomes = append(outcomes, res.Outcomes...)
+		}
+		out = append(out, CDFPair{
+			Technique:    tech.Name(),
+			Reconnection: stats.NewCDF(recon),
+			Failover:     stats.NewCDF(fail),
+			Stability:    Stability(outcomes),
+		})
+	}
+	return out, nil
+}

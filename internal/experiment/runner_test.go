@@ -1,0 +1,195 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"bestofboth/internal/bgp"
+	"bestofboth/internal/core"
+)
+
+// TestRunnerDeterminismAcrossWorkers is the regression gate for the
+// parallel runner: the same seed must produce deeply equal CDFs and
+// per-target outcomes whether the matrix runs strictly sequentially without
+// reuse or on 8 workers with converged-world reuse.
+func TestRunnerDeterminismAcrossWorkers(t *testing.T) {
+	cfg := tinyConfig(21)
+	sel := mustSelect(t, cfg, 20)
+	fc := quickFailover()
+	techs := []core.Technique{core.ReactiveAnycast{}, core.Anycast{}}
+	sites := []string{"atl", "msn"}
+
+	seq := &Runner{Workers: 1, DisableReuse: true}
+	par := &Runner{Workers: 8}
+
+	seqM, err := seq.RunMatrix(cfg, sel, techs, sites, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parM, err := par.RunMatrix(cfg, sel, techs, sites, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := range techs {
+		for si := range sites {
+			a, b := seqM[ti][si], parM[ti][si]
+			if a.Technique != b.Technique || a.FailedSite != b.FailedSite ||
+				a.PoolSize != b.PoolSize || a.Controllable != b.Controllable {
+				t.Fatalf("run [%d][%d] headers differ: %+v vs %+v", ti, si, a, b)
+			}
+			if !reflect.DeepEqual(a.Outcomes, b.Outcomes) {
+				t.Fatalf("run [%d][%d] (%s/%s): outcomes differ between workers=1 and workers=8",
+					ti, si, a.Technique, a.FailedSite)
+			}
+		}
+	}
+
+	seqPairs, err := seq.Figure2(cfg, sel, techs, sites, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parPairs, err := par.Figure2(cfg, sel, techs, sites, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqPairs, parPairs) {
+		t.Fatal("Figure2 CDF pairs differ between workers=1 and workers=8")
+	}
+}
+
+// TestWorldSnapshotIsolation materializes sibling worlds from one converged
+// snapshot and checks that failing a site in one leaves the others (and the
+// snapshot) untouched.
+func TestWorldSnapshotIsolation(t *testing.T) {
+	cfg := tinyConfig(22)
+	snap, err := buildSnapshot(cfg, core.ReactiveAnycast{}, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("converged world was not snapshotable")
+	}
+	a, err := RestoreWorld(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RestoreWorld(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.CDN.FailSite("atl"); err != nil {
+		t.Fatal(err)
+	}
+	a.Sim.RunFor(120)
+
+	if b.CDN.Failed("atl") {
+		t.Fatal("site failure leaked into a sibling restored world")
+	}
+	if b.Sim.Pending() != 0 {
+		t.Fatalf("sibling world has %d pending events it never scheduled", b.Sim.Pending())
+	}
+	atl := b.CDN.Site("atl")
+	if atl == nil {
+		t.Fatal("restored world lost its sites")
+	}
+	if got := b.CDN.CatchmentOf(b.Targets()[0].ID, atl.Addr); got == nil {
+		// The first target may legitimately be uncontrollable; what must
+		// hold is that atl's own prefix is still routed somewhere.
+		res := b.Plane.Forward(b.Targets()[0].ID, atl.Addr)
+		if !res.Delivered {
+			t.Fatal("sibling world lost routes to the failed-in-a site")
+		}
+	}
+
+	c, err := RestoreWorld(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CDN.Failed("atl") {
+		t.Fatal("site failure leaked back into the snapshot")
+	}
+}
+
+// TestSnapKeyDistinguishesConfigs pins the converged-snapshot cache key:
+// changed topology or protocol parameters must miss, equal-valued configs
+// must hit even across distinct damping pointers, and techniques of the
+// same type but different parameters must miss.
+func TestSnapKeyDistinguishesConfigs(t *testing.T) {
+	base := tinyConfig(23)
+	k := func(cfg WorldConfig, tech core.Technique) string {
+		return snapKey(cfg, tech, 3600)
+	}
+
+	cfg2 := base
+	cfg2.Topology.NumStub++
+	if k(base, core.Anycast{}) == k(cfg2, core.Anycast{}) {
+		t.Fatal("changed GenConfig did not change the key")
+	}
+
+	cfg3 := base
+	cfg3.BGP = bgp.DefaultConfig()
+	cfg3.BGP.MRAI = 5
+	if k(base, core.Anycast{}) == k(cfg3, core.Anycast{}) {
+		t.Fatal("changed bgp.Config did not change the key")
+	}
+
+	cfg4, cfg5 := base, base
+	cfg4.BGP = bgp.DefaultConfig()
+	cfg4.BGP.Damping = &bgp.DampingConfig{Penalty: 1000, SuppressAt: 2000, ReuseAt: 750, HalfLife: 900}
+	cfg5.BGP = bgp.DefaultConfig()
+	cfg5.BGP.Damping = &bgp.DampingConfig{Penalty: 1000, SuppressAt: 2000, ReuseAt: 750, HalfLife: 900}
+	if k(cfg4, core.Anycast{}) != k(cfg5, core.Anycast{}) {
+		t.Fatal("equal damping configs behind distinct pointers changed the key")
+	}
+	cfg5.BGP.Damping.HalfLife = 300
+	if k(cfg4, core.Anycast{}) == k(cfg5, core.Anycast{}) {
+		t.Fatal("changed damping parameters did not change the key")
+	}
+
+	if k(base, core.ProactivePrepending{Prepends: 3}) == k(base, core.ProactivePrepending{Prepends: 5}) {
+		t.Fatal("prepend depth did not change the key")
+	}
+	if k(base, core.Anycast{}) == k(base, core.ReactiveAnycast{}) {
+		t.Fatal("technique type did not change the key")
+	}
+	if snapKey(base, core.Anycast{}, 3600) == snapKey(base, core.Anycast{}, 600) {
+		t.Fatal("converge time did not change the key")
+	}
+}
+
+// TestRunFailoverMatchesRunnerReuse pins the core reuse guarantee: one run
+// materialized from a converged snapshot is outcome-identical to the same
+// run performed from scratch.
+func TestRunFailoverMatchesRunnerReuse(t *testing.T) {
+	cfg := tinyConfig(24)
+	sel := mustSelect(t, cfg, 15)
+	fc := quickFailover()
+	tech := core.ReactiveAnycast{}
+
+	fresh, err := RunFailover(cfg, sel, tech, "msn", fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := buildSnapshot(cfg, tech, fc.ConvergeTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("converged world was not snapshotable")
+	}
+	w, err := RestoreWorld(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := failoverOn(w, sel, tech, "msn", fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.Outcomes, reused.Outcomes) {
+		t.Fatal("reused-world outcomes differ from a fresh run")
+	}
+	if fresh.Controllable != reused.Controllable || fresh.PoolSize != reused.PoolSize {
+		t.Fatal("reused-world target sets differ from a fresh run")
+	}
+}

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"fmt"
+
+	"bestofboth/internal/bgp"
+	"bestofboth/internal/collector"
+	"bestofboth/internal/core"
+	"bestofboth/internal/netsim"
+)
+
+// WorldSnapshot captures a fully converged world — kernel clock and RNG
+// position, every speaker's RIBs and pacing state, the controller and DNS
+// zone, and the collector archive — so that the expensive deploy-and-converge
+// phase can be paid once per ⟨configuration, technique⟩ and reused by every
+// per-site run. A snapshot is immutable and safe to restore from any number
+// of goroutines concurrently.
+type WorldSnapshot struct {
+	cfg WorldConfig
+	sim netsim.Snapshot
+	net *bgp.NetworkSnapshot
+	cdn *core.Snapshot
+	col []collector.Record
+}
+
+// Snapshot captures the world's state. It fails if simulation events are
+// pending: converge first, and if convergence did not finish within its
+// deadline the world cannot be snapshotted (callers fall back to fresh
+// runs).
+func (w *World) Snapshot() (*WorldSnapshot, error) {
+	simSnap, err := w.Sim.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("experiment: snapshotting kernel: %w", err)
+	}
+	netSnap, err := w.Net.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("experiment: snapshotting bgp: %w", err)
+	}
+	return &WorldSnapshot{
+		cfg: w.Cfg,
+		sim: simSnap,
+		net: netSnap,
+		cdn: w.CDN.Snapshot(),
+		col: w.Collector.SnapshotArchive(),
+	}, nil
+}
+
+// RestoreWorld materializes an independent world from a snapshot: it builds
+// a fresh world from the snapshot's configuration (re-wiring all component
+// callbacks) and then overwrites the mutable state — clock, RNG position,
+// RIBs (replayed into the data plane), controller, zone, and archive — with
+// deep copies of the snapshot's. The result is bit-identical to the world
+// the snapshot was taken from and shares nothing mutable with it or with
+// sibling restores.
+func RestoreWorld(snap *WorldSnapshot) (*World, error) {
+	w, err := NewWorld(snap.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Sim.Restore(snap.sim); err != nil {
+		return nil, fmt.Errorf("experiment: restoring kernel: %w", err)
+	}
+	if err := w.Net.Restore(snap.net); err != nil {
+		return nil, fmt.Errorf("experiment: restoring bgp: %w", err)
+	}
+	if err := w.CDN.Restore(snap.cdn); err != nil {
+		return nil, fmt.Errorf("experiment: restoring cdn: %w", err)
+	}
+	w.Collector.RestoreArchive(snap.col)
+	return w, nil
+}

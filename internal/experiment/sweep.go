@@ -24,24 +24,38 @@ type SweepPoint struct {
 // prepend depths — the §4 tradeoff ("if the other sites prepend more
 // times, the CDN may get more traffic control... additional prepending
 // will also make the backup routes longer, delaying failover") as a full
-// curve.
+// curve. It delegates to a default Runner.
 func PrependSweep(cfg WorldConfig, sel *Selection, depths []int, sites []string, fc FailoverConfig) ([]SweepPoint, error) {
-	var out []SweepPoint
+	return (&Runner{}).PrependSweep(cfg, sel, depths, sites, fc)
+}
+
+// PrependSweep is the Runner-backed sweep: the failover matrix treats each
+// depth as a technique, and each depth's control measurement runs on a world
+// materialized from the same converged snapshot the failover runs reuse.
+func (r *Runner) PrependSweep(cfg WorldConfig, sel *Selection, depths []int, sites []string, fc FailoverConfig) ([]SweepPoint, error) {
+	techs := make([]core.Technique, 0, len(depths))
 	for _, k := range depths {
 		if k < 1 {
 			return nil, fmt.Errorf("experiment: prepend depth %d", k)
 		}
-		tech := core.ProactivePrepending{Prepends: k}
-
-		// Control measurement on a dedicated world.
-		w, err := NewWorld(cfg)
+		techs = append(techs, core.ProactivePrepending{Prepends: k})
+	}
+	matrix, err := r.RunMatrix(cfg, sel, techs, sites, fc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, 0, len(depths))
+	for di, k := range depths {
+		// Control measurement: the steerable share over each site's
+		// NotAnycast set on the converged pre-failure world.
+		snap, err := r.convergedSnapshot(cfg, techs[di], fc.ConvergeTime)
 		if err != nil {
 			return nil, err
 		}
-		if err := w.CDN.Deploy(tech); err != nil {
+		w, err := materialize(cfg, techs[di], fc.ConvergeTime, snap)
+		if err != nil {
 			return nil, err
 		}
-		w.Converge(3600)
 		var control float64
 		counted := 0
 		for _, st := range sel.Sites {
@@ -62,15 +76,12 @@ func PrependSweep(cfg WorldConfig, sel *Selection, depths []int, sites []string,
 			control /= float64(counted)
 		}
 
-		// Failover measurement pooled over the requested sites.
+		// Failover distributions pooled over the requested sites.
 		var recon, fail []float64
-		for _, site := range sites {
-			r, err := RunFailover(cfg, sel, tech, site, fc)
-			if err != nil {
-				return nil, err
-			}
-			recon = append(recon, r.ReconnectionSamples(fc.ProbeDuration)...)
-			fail = append(fail, r.FailoverSamples(fc.ProbeDuration)...)
+		for si := range sites {
+			res := matrix[di][si]
+			recon = append(recon, res.ReconnectionSamples(fc.ProbeDuration)...)
+			fail = append(fail, res.FailoverSamples(fc.ProbeDuration)...)
 		}
 		rc, fc2 := stats.NewCDF(recon), stats.NewCDF(fail)
 		out = append(out, SweepPoint{

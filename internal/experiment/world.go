@@ -60,7 +60,10 @@ type World struct {
 // technique is deployed yet.
 func NewWorld(cfg WorldConfig) (*World, error) {
 	cfg.fillDefaults()
-	topo, err := topology.Generate(cfg.Topology)
+	// Cached memoizes generation per GenConfig and hands back an isolated
+	// deep copy: experiment matrices rebuild the identical topology for
+	// every ⟨technique, failed site⟩ run.
+	topo, err := topology.Cached(cfg.Topology)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: generating topology: %w", err)
 	}

@@ -9,7 +9,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -25,34 +24,95 @@ type event struct {
 	fn  func()
 }
 
-type eventQueue []*event
+// eventQueue is a binary min-heap of events ordered by (at, seq). Events are
+// stored by value: the heap is the hottest allocation site in the whole
+// simulator, and a value-based heap with hand-rolled sift operations avoids
+// both the per-event pointer allocation and the interface boxing of
+// container/heap.
+type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = event{} // release the callback for GC
+	h = h[:last]
+	*q = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h.less(l, small) {
+			small = l
+		}
+		if r < len(h) && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
+}
+
+// countingSource wraps the stdlib random source and counts draws, so that a
+// simulator's RNG state can be reproduced exactly by fast-forwarding a fresh
+// source seeded identically (see Snapshot/Restore). It delegates without
+// altering the draw sequence.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.draws = 0
 }
 
 // Sim is a discrete-event simulator with a virtual clock.
 //
 // Sim is not safe for concurrent use: the simulation model is single
-// threaded by design so that runs are reproducible bit-for-bit.
+// threaded by design so that runs are reproducible bit-for-bit. Distinct Sim
+// instances are fully independent and may run on concurrent goroutines.
 type Sim struct {
 	now    Seconds
 	seq    uint64
 	queue  eventQueue
+	src    *countingSource
 	rng    *rand.Rand
 	nSteps uint64
 }
@@ -61,7 +121,8 @@ type Sim struct {
 // Two simulators built with the same seed and fed the same schedule of
 // events produce identical executions.
 func New(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Sim{src: src, rng: rand.New(src)}
 }
 
 // Now returns the current virtual time in seconds.
@@ -85,7 +146,7 @@ func (s *Sim) At(at Seconds, fn func()) {
 		panic(fmt.Sprintf("netsim: invalid event time %v", at))
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+	s.queue.push(event{at: at, seq: s.seq, fn: fn})
 }
 
 // After schedules fn to run d seconds from the current virtual time.
@@ -115,7 +176,7 @@ func (s *Sim) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*event)
+	e := s.queue.pop()
 	s.now = e.at
 	s.nSteps++
 	e.fn()
@@ -141,6 +202,50 @@ func (s *Sim) RunUntil(deadline Seconds) {
 
 // RunFor executes events for d seconds of virtual time from now.
 func (s *Sim) RunFor(d Seconds) { s.RunUntil(s.now + d) }
+
+// Snapshot captures the kernel state of a quiescent simulator: the clock,
+// the event sequence counter, and the RNG position. Snapshots are only
+// possible when the event queue is empty — pending events hold closures over
+// model state that cannot be transplanted — which is exactly the state a
+// fully converged network leaves behind.
+type Snapshot struct {
+	Now   Seconds
+	seq   uint64
+	steps uint64
+	draws uint64
+}
+
+// Snapshot captures the current kernel state. It fails if events are
+// pending.
+func (s *Sim) Snapshot() (Snapshot, error) {
+	if len(s.queue) != 0 {
+		return Snapshot{}, fmt.Errorf("netsim: cannot snapshot with %d pending events", len(s.queue))
+	}
+	return Snapshot{Now: s.now, seq: s.seq, steps: s.nSteps, draws: s.src.draws}, nil
+}
+
+// Restore brings a simulator to a previously captured kernel state. The
+// receiver must be freshly built with the same seed as the snapshotted
+// simulator and must not have consumed more randomness than the snapshot
+// recorded: the RNG is fast-forwarded, never rewound. After Restore the
+// simulator produces the exact event timings and random draws the
+// snapshotted one would.
+func (s *Sim) Restore(snap Snapshot) error {
+	if len(s.queue) != 0 {
+		return fmt.Errorf("netsim: cannot restore with %d pending events", len(s.queue))
+	}
+	if s.src.draws > snap.draws {
+		return fmt.Errorf("netsim: restore target has consumed %d draws, snapshot has %d", s.src.draws, snap.draws)
+	}
+	for s.src.draws < snap.draws {
+		s.src.src.Int63()
+		s.src.draws++
+	}
+	s.now = snap.Now
+	s.seq = snap.seq
+	s.nSteps = snap.steps
+	return nil
+}
 
 // Timer is a cancellable scheduled event.
 type Timer struct {

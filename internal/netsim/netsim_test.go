@@ -203,6 +203,95 @@ func TestMonotonicClockProperty(t *testing.T) {
 	}
 }
 
+// TestSnapshotRestoreReproducesRun drives a simulator to a quiescent point,
+// snapshots it, and checks that a fresh simulator restored from the snapshot
+// continues with the exact same event timings and random draws.
+func TestSnapshotRestoreReproducesRun(t *testing.T) {
+	const seed = 99
+	phase1 := func(s *Sim) {
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			if n < 40 {
+				s.After(s.Jitter(0.1, 3.0), tick)
+			}
+		}
+		s.After(0, tick)
+		s.Run()
+	}
+	phase2 := func(s *Sim) []float64 {
+		var trace []float64
+		var tick func()
+		n := 0
+		tick = func() {
+			trace = append(trace, s.Now(), s.Rand().Float64())
+			n++
+			if n < 30 {
+				s.After(s.Jitter(0.2, 1.5), tick)
+			}
+		}
+		s.After(0, tick)
+		s.Run()
+		return trace
+	}
+
+	// Reference: one simulator runs both phases back to back.
+	ref := New(seed)
+	phase1(ref)
+	want := phase2(ref)
+
+	// Snapshot after phase 1 and restore into a fresh simulator.
+	src := New(seed)
+	phase1(src)
+	snap, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New(seed)
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Now() != src.Now() || restored.Steps() != src.Steps() {
+		t.Fatalf("restored clock/steps = %v/%d, want %v/%d",
+			restored.Now(), restored.Steps(), src.Now(), src.Steps())
+	}
+	got := phase2(restored)
+	if len(got) != len(want) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("restored trace diverges at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSnapshotRefusesPendingEvents(t *testing.T) {
+	s := New(1)
+	s.At(5, func() {})
+	if _, err := s.Snapshot(); err == nil {
+		t.Fatal("snapshot with pending events succeeded")
+	}
+	s.Run()
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatalf("snapshot of quiescent sim failed: %v", err)
+	}
+}
+
+func TestRestoreRefusesRewindingRNG(t *testing.T) {
+	a := New(1)
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(1)
+	b.Rand().Float64() // consume a draw the snapshot does not have
+	if err := b.Restore(snap); err == nil {
+		t.Fatal("restore rewound the RNG")
+	}
+}
+
 func TestStepsCount(t *testing.T) {
 	s := New(1)
 	for i := 0; i < 17; i++ {

@@ -1,0 +1,91 @@
+package topology
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+)
+
+// Clone returns a deep copy of the topology: nodes, adjacency lists, and
+// lookup indices are all freshly allocated, so mutating the clone (or the
+// original) never leaks into the other. Prefixes and locations are value
+// types and copy naturally.
+func (t *Topology) Clone() *Topology {
+	c := &Topology{
+		Nodes:  make([]*Node, len(t.Nodes)),
+		byASN:  make(map[ASN][]NodeID, len(t.byASN)),
+		byName: make(map[string]NodeID, len(t.byName)),
+	}
+	for i, n := range t.Nodes {
+		cn := *n
+		cn.Adj = slices.Clone(n.Adj)
+		c.Nodes[i] = &cn
+	}
+	for asn, ids := range t.byASN {
+		c.byASN[asn] = slices.Clone(ids)
+	}
+	for name, id := range t.byName {
+		c.byName[name] = id
+	}
+	return c
+}
+
+// genCache memoizes Generate results. Generation is deterministic in
+// GenConfig, and one experiment matrix regenerates the identical topology
+// for every ⟨technique, failed site⟩ run, so paying the generator (random
+// graph wiring, geo embedding, validation) once per distinct configuration
+// is a large win. Entries hold the pristine generated topology; Cached hands
+// out isolated clones.
+var genCache = struct {
+	sync.Mutex
+	m map[string]*genEntry
+}{m: map[string]*genEntry{}}
+
+// genCacheCap bounds the number of retained topologies. Experiment suites
+// use a handful of configurations; the cap only guards pathological callers
+// sweeping hundreds of configs.
+const genCacheCap = 32
+
+type genEntry struct {
+	once sync.Once
+	topo *Topology
+	err  error
+}
+
+// genKey canonicalizes a GenConfig into a cache key. GenConfig contains only
+// value fields and a string slice, so the formatted representation is a
+// faithful identity.
+func genKey(cfg GenConfig) string {
+	return fmt.Sprintf("%d|%d|%d|%d|%d|%d|%d|%d|%d|%q|%d|%d",
+		cfg.Seed, cfg.NumTier1, cfg.NumTransit, cfg.NumRegional, cfg.NumREN,
+		cfg.NumUniversity, cfg.NumEyeball, cfg.NumStub, cfg.NumHypergiant,
+		cfg.SiteCodes, cfg.CDNASN, cfg.CDNSharedProviders)
+}
+
+// Cached returns the topology for cfg, generating it at most once per
+// distinct configuration and returning an isolated deep copy on every call.
+// It is safe for concurrent use; concurrent callers with the same cfg share
+// one generation.
+func Cached(cfg GenConfig) (*Topology, error) {
+	key := genKey(cfg)
+	genCache.Lock()
+	e, ok := genCache.m[key]
+	if !ok {
+		if len(genCache.m) >= genCacheCap {
+			// Cache full: generate without memoizing rather than evicting a
+			// possibly hot entry.
+			genCache.Unlock()
+			return Generate(cfg)
+		}
+		e = &genEntry{}
+		genCache.m[key] = e
+	}
+	genCache.Unlock()
+	e.once.Do(func() {
+		e.topo, e.err = Generate(cfg)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.topo.Clone(), nil
+}

@@ -1,0 +1,129 @@
+package topology
+
+import (
+	"sync"
+	"testing"
+)
+
+func smallGen(seed int64) GenConfig {
+	return GenConfig{
+		Seed: seed, NumTransit: 12, NumRegional: 6, NumEyeball: 15,
+		NumStub: 30, NumUniversity: 6,
+	}
+}
+
+func TestCachedReturnsIsolatedCopies(t *testing.T) {
+	a, err := Cached(smallGen(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cached(smallGen(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("cache returned the same instance twice")
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("cached copies differ in size: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Nodes {
+		na, nb := a.Nodes[i], b.Nodes[i]
+		if na == nb {
+			t.Fatalf("node %d shared between copies", i)
+		}
+		if na.Name != nb.Name || na.ASN != nb.ASN || len(na.Adj) != len(nb.Adj) {
+			t.Fatalf("node %d differs between copies", i)
+		}
+	}
+
+	// Mutations to one copy must not leak into a sibling copy.
+	a.Nodes[0].Name = "mutated"
+	a.Nodes[0].Adj[0].Delay = 1e9
+	a.Nodes[0].Site = "zzz"
+	c, err := Cached(smallGen(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes[0].Name == "mutated" || c.Nodes[0].Adj[0].Delay == 1e9 || c.Nodes[0].Site == "zzz" {
+		t.Fatal("mutation of one cached copy leaked into a later copy")
+	}
+	if b.Nodes[0].Name == "mutated" {
+		t.Fatal("mutation of one cached copy leaked into a sibling copy")
+	}
+}
+
+func TestCachedMissesOnChangedConfig(t *testing.T) {
+	a, err := Cached(smallGen(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallGen(2)
+	cfg.NumStub += 5
+	b, err := Cached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == b.Len() {
+		t.Fatalf("changed GenConfig produced identically sized topology (%d nodes): cache key too coarse?", a.Len())
+	}
+	cfg2 := smallGen(2)
+	cfg2.SiteCodes = []string{"ams", "atl"}
+	c, err := Cached(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.NodesOfClass(ClassCDN)) != 2 {
+		t.Fatalf("SiteCodes ignored: got %d CDN nodes", len(c.NodesOfClass(ClassCDN)))
+	}
+}
+
+func TestCachedMatchesGenerate(t *testing.T) {
+	cfg := smallGen(3)
+	gen, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := Cached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Len() != cached.Len() {
+		t.Fatalf("Cached (%d nodes) != Generate (%d nodes)", cached.Len(), gen.Len())
+	}
+	for i := range gen.Nodes {
+		ga, ca := gen.Nodes[i], cached.Nodes[i]
+		if ga.Name != ca.Name || ga.ASN != ca.ASN || ga.Class != ca.Class ||
+			ga.Prefix != ca.Prefix || len(ga.Adj) != len(ca.Adj) {
+			t.Fatalf("node %d differs between Generate and Cached", i)
+		}
+		for j := range ga.Adj {
+			if ga.Adj[j] != ca.Adj[j] {
+				t.Fatalf("adjacency %d/%d differs between Generate and Cached", i, j)
+			}
+		}
+	}
+}
+
+func TestCachedConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	tops := make([]*Topology, 8)
+	for i := range tops {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			topo, err := Cached(smallGen(4))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tops[i] = topo
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(tops); i++ {
+		if tops[i] == nil || tops[i] == tops[0] {
+			t.Fatal("concurrent Cached calls returned nil or shared instances")
+		}
+	}
+}
