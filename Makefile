@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet race race-full bench bench-baseline
+.PHONY: tier1 vet race race-full bench bench-baseline ci
 
 # Tier-1 gate: must stay green (see ROADMAP.md).
 tier1:
@@ -16,6 +16,9 @@ race: vet
 # Full race run (slow; includes the paper-headline integration test).
 race-full: vet
 	$(GO) test -race ./...
+
+# Everything CI runs (see .github/workflows/ci.yml).
+ci: tier1 vet race
 
 # Figure-2 + convergence benchmarks with allocation stats.
 bench:

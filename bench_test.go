@@ -18,6 +18,7 @@ import (
 	"bestofboth/internal/dataplane"
 	"bestofboth/internal/experiment"
 	"bestofboth/internal/netsim"
+	"bestofboth/internal/scenario"
 	"bestofboth/internal/topology"
 )
 
@@ -540,4 +541,25 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkScenarioRegionalOutage measures a full scenario-engine run: the
+// bundled correlated regional outage (slc, sea1, and sea2 fail together)
+// against reactive-anycast, including probing and per-event analysis.
+func BenchmarkScenarioRegionalOutage(b *testing.B) {
+	sel := getSelection(b)
+	sc := scenario.ByName("regional-outage")
+	r := &experiment.Runner{}
+	sco := experiment.DefaultScenarioConfig()
+	sco.MaxTargetsPerSite = 8
+	var last *scenario.Result
+	for i := 0; i < b.N; i++ {
+		res, err := r.RunScenario(benchConfig(1), sel, core.ReactiveAnycast{}, sc, sco)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Availability, "availability")
+	b.ReportMetric(last.Events[0].Reconnection.P50, "regional-recon-p50-s")
 }

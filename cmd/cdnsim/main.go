@@ -16,6 +16,9 @@
 //	c1           diverging-AS analysis for the pathological site (Appendix C.1)
 //	unicast-dns  unicast failover gated by DNS TTL and violations (§2 context)
 //	combined     reactive-anycast + superprefix ablation (§4)
+//	scenario     declarative fault-injection timelines (flaps, link failures,
+//	             partial and regional outages, drains); has its own flags —
+//	             see cdnsim scenario -h
 //	fig2-sites   per-failed-site breakdown of Figure 2 for one technique
 //	prepend-sweep control-vs-failover tradeoff across prepend depths 1-7 (§4)
 //	validate     §5.1 criterion robustness and repeatability checks
@@ -70,8 +73,17 @@ func main() {
 	flag.StringVar(&opts.jsonOut, "json", "", "also write results as JSON to this file")
 	flag.Parse()
 
+	if flag.NArg() >= 1 && flag.Arg(0) == "scenario" {
+		// The scenario subcommand owns its trailing flags and keeps stdout
+		// deterministic (no wall-clock epilogue).
+		if err := runScenarioCmd(flag.Args()[1:], opts); err != nil {
+			fmt.Fprintf(os.Stderr, "cdnsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cdnsim [flags] <fig2|table1|table2|fig3|fig4|fig5|c1|unicast-dns|combined|validate|all>")
+		fmt.Fprintln(os.Stderr, "usage: cdnsim [flags] <fig2|table1|table2|fig3|fig4|fig5|c1|unicast-dns|combined|validate|scenario|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

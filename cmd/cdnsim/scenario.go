@@ -1,0 +1,209 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"bestofboth/internal/core"
+	"bestofboth/internal/experiment"
+	"bestofboth/internal/scenario"
+	"bestofboth/internal/stats"
+)
+
+// runScenarioCmd implements the `scenario` subcommand: run a declarative
+// fault-injection timeline (bundled by name or loaded from a YAML/JSON
+// file) against one or more techniques, reporting per-event metrics.
+//
+// The subcommand has its own flag set, parsed after the command word:
+//
+//	cdnsim scenario -name regional-outage -tech all -workers 8
+//	cdnsim scenario -f outage.yaml -json out.json
+//
+// Output is deterministic: identical invocations are bit-identical on
+// stdout at any -workers value (progress goes to stderr).
+func runScenarioCmd(args []string, o options) error {
+	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
+	file := fs.String("f", "", "YAML or JSON scenario file to run")
+	name := fs.String("name", "", "bundled scenario to run (see -list)")
+	list := fs.Bool("list", false, "list the bundled scenarios and exit")
+	techs := fs.String("tech", "reactive-anycast", "comma-separated techniques, or \"all\"")
+	monitor := fs.Bool("monitor", false, "run the probing health monitor (detects silent crashes)")
+	seed := fs.Int64("seed", o.seed, "simulation seed")
+	workers := fs.Int("workers", o.workers, "concurrent runs (results are identical at any worker count)")
+	targets := fs.Int("targets", o.targets, "max targets selected per site")
+	perSite := fs.Int("probe-targets", 12, "max targets probed per site group")
+	jsonOut := fs.String("json", o.jsonOut, "also write results as JSON to this file")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: cdnsim scenario [-f file | -name scenario | -list] [flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		printScenarioList()
+		return nil
+	}
+	sc, err := loadScenario(*file, *name)
+	if err != nil {
+		return err
+	}
+	techniques, err := parseTechniques(*techs)
+	if err != nil {
+		return err
+	}
+
+	cfg := options{seed: *seed, scale: o.scale}.worldConfig()
+	fmt.Fprintf(os.Stderr, "selecting targets (seed=%d, cap=%d/site)...\n", *seed, *targets)
+	sel, err := experiment.SelectTargets(cfg, *targets)
+	if err != nil {
+		return err
+	}
+
+	runner := &experiment.Runner{Workers: *workers}
+	sco := experiment.DefaultScenarioConfig()
+	sco.MaxTargetsPerSite = *perSite
+	sco.UseMonitor = *monitor
+
+	report := experiment.NewReport(*seed)
+	results, err := runner.RunScenarioMatrix(cfg, sel, techniques, []*scenario.Scenario{sc}, sco)
+	if err != nil {
+		return err
+	}
+	for ti, tech := range techniques {
+		res := results[ti][0]
+		printScenarioResult(res, sc)
+		report.Add("scenario:"+sc.Name+":"+tech.Name(), res)
+	}
+	if *jsonOut != "" {
+		if err := report.WriteFile(*jsonOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+func printScenarioList() {
+	t := &stats.Table{Header: []string{"name", "damping", "events", "description"}}
+	for _, sc := range scenario.Library() {
+		damp := ""
+		if sc.Damping {
+			damp = "yes"
+		}
+		t.AddRow(sc.Name, damp, fmt.Sprintf("%d", len(sc.Events)), sc.Description)
+	}
+	fmt.Println(t.Render())
+}
+
+func loadScenario(file, name string) (*scenario.Scenario, error) {
+	switch {
+	case file != "" && name != "":
+		return nil, fmt.Errorf("scenario: -f and -name are mutually exclusive")
+	case file != "":
+		return scenario.LoadFile(file)
+	case name != "":
+		sc := scenario.ByName(name)
+		if sc == nil {
+			return nil, fmt.Errorf("scenario: no bundled scenario %q (try -list)", name)
+		}
+		return sc, nil
+	}
+	return nil, fmt.Errorf("scenario: need -f <file> or -name <scenario> (or -list)")
+}
+
+func parseTechniques(spec string) ([]core.Technique, error) {
+	if spec == "all" {
+		return core.AllTechniques(), nil
+	}
+	var out []core.Technique
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, t := range core.AllTechniques() {
+			if t.Name() == name {
+				out = append(out, t)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("scenario: unknown technique %q", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scenario: no techniques given")
+	}
+	return out, nil
+}
+
+func printScenarioResult(res *scenario.Result, sc *scenario.Scenario) {
+	fmt.Printf("\n=== scenario %s / %s ===\n", res.Scenario, res.Technique)
+	if sc.Description != "" {
+		fmt.Println(sc.Description)
+	}
+	fmt.Printf("horizon %gs, %d groups, %d targets, damping %v\n",
+		res.Horizon, res.Groups, res.Targets, sc.Damping)
+	fmt.Printf("probes sent %d, answered %d, availability %s, BGP updates %d\n",
+		res.Sent, res.Answered, stats.Pct(res.Availability), res.BGPUpdates)
+	for _, d := range res.Detections {
+		fmt.Printf("monitor detected %s down at t=%.1fs\n", d.Site, d.At)
+	}
+
+	t := &stats.Table{Header: []string{
+		"t", "event", "down", "avail", "affected", "lost", "recon p50", "recon p90", "failover",
+	}}
+	for i := range res.Events {
+		ev := &res.Events[i]
+		recon50, recon90 := "-", "-"
+		if ev.Reconnection.N > 0 {
+			recon50 = fmt.Sprintf("%.1fs", ev.Reconnection.P50)
+			recon90 = fmt.Sprintf("%.1fs", ev.Reconnection.P90)
+		}
+		t.AddRow(
+			fmt.Sprintf("%g", ev.At),
+			ev.Label,
+			fmt.Sprintf("%d", ev.SitesDown),
+			stats.Pct(ev.Availability),
+			fmt.Sprintf("%d", ev.AffectedTargets),
+			fmt.Sprintf("%d", ev.Lost),
+			recon50, recon90,
+			renderFailover(ev.FailoverSites),
+		)
+	}
+	fmt.Println(t.Render())
+}
+
+// renderFailover formats the failover-site counts deterministically:
+// descending count, then site code.
+func renderFailover(m map[string]int) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	type kv struct {
+		site string
+		n    int
+	}
+	out := make([]kv, 0, len(m))
+	for s, n := range m {
+		out = append(out, kv{s, n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].n != out[j].n {
+			return out[i].n > out[j].n
+		}
+		return out[i].site < out[j].site
+	})
+	parts := make([]string, len(out))
+	for i, e := range out {
+		parts[i] = fmt.Sprintf("%s:%d", e.site, e.n)
+	}
+	return strings.Join(parts, " ")
+}

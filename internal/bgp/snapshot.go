@@ -28,6 +28,8 @@ type NetworkSnapshot struct {
 type speakerSnapshot struct {
 	lastDeliver     []netsim.Seconds
 	lastFeedDeliver netsim.Seconds
+	downSess        []bool
+	sessEpoch       []uint64
 	prefixes        []prefixSnapshot
 }
 
@@ -84,6 +86,8 @@ func (n *Network) Snapshot() (*NetworkSnapshot, error) {
 		ss := speakerSnapshot{
 			lastDeliver:     slices.Clone(sp.lastDeliver),
 			lastFeedDeliver: sp.lastFeedDeliver,
+			downSess:        slices.Clone(sp.downSess),
+			sessEpoch:       slices.Clone(sp.sessEpoch),
 			prefixes:        make([]prefixSnapshot, 0, len(sp.prefixes)),
 		}
 		for _, p := range sp.KnownPrefixes() { // sorted: deterministic restore order
@@ -133,6 +137,8 @@ func (n *Network) Restore(snap *NetworkSnapshot) error {
 		sp := n.speakers[i]
 		copy(sp.lastDeliver, ss.lastDeliver)
 		sp.lastFeedDeliver = ss.lastFeedDeliver
+		copy(sp.downSess, ss.downSess)
+		copy(sp.sessEpoch, ss.sessEpoch)
 		for _, ps := range ss.prefixes {
 			st := &prefixState{
 				prefix:      ps.prefix,

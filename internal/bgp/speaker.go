@@ -28,6 +28,15 @@ type Speaker struct {
 	// collector session is TCP too.
 	lastFeedDeliver netsim.Seconds
 
+	// downSess[i] is true while session i is administratively or physically
+	// down (link failure, maintenance). No updates are sent or accepted on a
+	// down session.
+	downSess []bool
+	// sessEpoch[i] counts session establishments. Deliveries scheduled under
+	// an older epoch are dropped: a session reset tears down the TCP
+	// connection, so in-flight updates never arrive.
+	sessEpoch []uint64
+
 	prefixes map[netip.Prefix]*prefixState
 }
 
@@ -49,6 +58,8 @@ func newSpeaker(net *Network, node *topology.Node) *Speaker {
 		node:        node,
 		reverse:     make([]int, len(node.Adj)),
 		lastDeliver: make([]netsim.Seconds, len(node.Adj)),
+		downSess:    make([]bool, len(node.Adj)),
+		sessEpoch:   make([]uint64, len(node.Adj)),
 		prefixes:    make(map[netip.Prefix]*prefixState),
 	}
 }
@@ -362,6 +373,11 @@ func (s *Speaker) desiredExport(p netip.Prefix, st *prefixState, sess int) *Rout
 // export transmits the desired state toward session sess, honoring MRAI for
 // advertisements. Withdrawals are sent immediately.
 func (s *Speaker) export(p netip.Prefix, st *prefixState, sess int) {
+	if s.downSess[sess] {
+		// Nothing can be sent on a down session; the full re-advertisement
+		// at session establishment brings the neighbor up to date.
+		return
+	}
 	desired := s.desiredExport(p, st, sess)
 	if sameWire(desired, st.out[sess]) {
 		return
@@ -419,7 +435,42 @@ func (s *Speaker) send(sess int, u Update) {
 		at = s.lastDeliver[sess] + 1e-6
 	}
 	s.lastDeliver[sess] = at
+	// Capture the receiver-side session epoch: if the session is reset (or
+	// the link fails) while this update is in flight, the TCP connection it
+	// rode on is gone and the update must never be delivered.
+	epoch := peer.sessEpoch[rev]
 	s.net.sim.At(at, func() {
+		if peer.sessEpoch[rev] != epoch {
+			return
+		}
 		peer.receive(rev, u)
 	})
+}
+
+// flushSession clears all per-session RIB state for sess — adj-RIB-in,
+// adj-RIB-out, and MRAI pacing — as a session teardown does, then
+// re-selects and re-exports every prefix whose best route was lost.
+// Iteration is over sorted prefixes so fault injection stays deterministic.
+func (s *Speaker) flushSession(sess int) {
+	for _, p := range s.KnownPrefixes() {
+		st := s.prefixes[p]
+		st.out[sess] = nil
+		st.nextAllowed[sess] = 0
+		if st.in[sess] == nil {
+			continue
+		}
+		st.in[sess] = nil
+		s.recompute(p, st)
+		s.exportAll(p, st)
+	}
+}
+
+// readvertiseSession replays the full table toward sess, as a speaker does
+// after session establishment (RFC 4271 §9.4: initial exchange of the
+// entire Adj-RIB-Out). adj-RIB-out for the session is empty after the
+// flush, so export sends everything the policy allows.
+func (s *Speaker) readvertiseSession(sess int) {
+	for _, p := range s.KnownPrefixes() {
+		s.export(p, s.prefixes[p], sess)
+	}
 }

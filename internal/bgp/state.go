@@ -1,0 +1,78 @@
+package bgp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bestofboth/internal/topology"
+)
+
+// RouteStateDigest renders the semantic routing state of the whole network
+// as canonical text: per speaker, per prefix, the origination policy, the
+// loc-RIB best route, and the non-empty adj-RIB-in/out slots. Pacing
+// deadlines, damping penalties, delivery clocks, and message counters are
+// deliberately excluded — two networks with equal digests make identical
+// forwarding and export decisions even if they took different paced paths
+// to get there. Regression tests use it to check that fail→recover cycles
+// re-converge to exactly the never-failed state.
+func (n *Network) RouteStateDigest() string {
+	var b strings.Builder
+	for _, sp := range n.speakers {
+		var lines []string
+		for _, p := range sp.KnownPrefixes() {
+			st := sp.prefixes[p]
+			var sb strings.Builder
+			if st.origin != nil {
+				fmt.Fprintf(&sb, "  origin %s\n", originWire(st.origin))
+			}
+			if st.best != nil {
+				fmt.Fprintf(&sb, "  best sess=%d %s\n", st.best.learnedFrom, routeWire(st.best))
+			}
+			for sess, r := range st.in {
+				if r != nil {
+					fmt.Fprintf(&sb, "  in[%d] lp=%d %s\n", sess, r.LocalPref, routeWire(r))
+				}
+			}
+			for sess, r := range st.out {
+				if r != nil {
+					fmt.Fprintf(&sb, "  out[%d] %s\n", sess, routeWire(r))
+				}
+			}
+			if sb.Len() == 0 {
+				continue // empty husk left by a full withdraw cycle
+			}
+			lines = append(lines, fmt.Sprintf("%s %s\n%s", sp.node.Name, p, sb.String()))
+		}
+		for _, l := range lines {
+			b.WriteString(l)
+		}
+	}
+	return b.String()
+}
+
+// routeWire renders the attributes a route carries on the wire. OriginNode
+// is deliberately omitted: it is simulator bookkeeping outside the decision
+// process, and under anycast wire-identical routes from different
+// originating sites leave different OriginNode breadcrumbs depending on
+// arrival order.
+func routeWire(r *Route) string {
+	return fmt.Sprintf("path=%v med=%d comm=%v", r.Path, r.MED, r.Communities)
+}
+
+func originWire(pol *OriginPolicy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "prepend=%d med=%d comm=%v", pol.Prepend, pol.MED, pol.Communities)
+	if len(pol.PerNeighbor) > 0 {
+		ids := make([]topology.NodeID, 0, len(pol.PerNeighbor))
+		for id := range pol.PerNeighbor {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			np := pol.PerNeighbor[id]
+			fmt.Fprintf(&b, " nbr[%d]={export=%t prepend=%d}", id, np.Export, np.Prepend)
+		}
+	}
+	return b.String()
+}

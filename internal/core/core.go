@@ -349,9 +349,35 @@ func (c *CDN) FailSite(code string) error {
 	return nil
 }
 
+// DrainSite takes a site out of service gracefully (maintenance): the
+// controller withdraws the site's announcements and repoints DNS
+// immediately — no detection delay, the operator initiated it — but the
+// site keeps forwarding, so traffic still in flight or still arriving on
+// stale routes is served while BGP converges away. The caller decides when
+// draining is complete and stops the data plane (Plane().SetDown), which
+// the scenario engine's maintenance-drain event does after its grace
+// period. RecoverSite returns the site to service.
+func (c *CDN) DrainSite(code string) error {
+	s := c.byCode[code]
+	if s == nil {
+		return fmt.Errorf("core: unknown site %q", code)
+	}
+	if c.failed[code] {
+		return fmt.Errorf("core: site %q already failed", code)
+	}
+	if c.technique == nil {
+		return fmt.Errorf("core: no technique deployed")
+	}
+	c.failed[code] = true
+	delete(c.reacted, code)
+	c.withdrawAll(s.Node)
+	return c.ReactToFailure(code)
+}
+
 // RecoverSite restores a failed site: it resumes forwarding, reinstalls the
-// technique's normal-operation announcements for the site, and repoints the
-// site's DNS name back.
+// technique's normal-operation announcements for the site, and restores the
+// DNS records the failure reaction repointed — the site's own name and the
+// main service name.
 func (c *CDN) RecoverSite(code string) error {
 	s := c.byCode[code]
 	if s == nil {
@@ -365,7 +391,23 @@ func (c *CDN) RecoverSite(code string) error {
 	if err := c.technique.OnSiteRecovery(c, s); err != nil {
 		return err
 	}
-	return c.auth.SetA(s.Code, c.DNSTTL, c.technique.SteerAddr(c, s))
+	if err := c.auth.SetA(s.Code, c.DNSTTL, c.technique.SteerAddr(c, s)); err != nil {
+		return err
+	}
+	if c.dualStack {
+		if err := c.auth.SetAAAA(s.Code, c.DNSTTL, c.SteerAddr6(s)); err != nil {
+			return err
+		}
+	}
+	// Point the main name back at the first healthy site; with every site
+	// recovered this is the deployment-time default again.
+	best := c.HealthySites()[0]
+	if c.dualStack {
+		if err := c.auth.SetAAAA("www", c.DNSTTL, c.SteerAddr6(best)); err != nil {
+			return err
+		}
+	}
+	return c.auth.SetA("www", c.DNSTTL, c.technique.SteerAddr(c, best))
 }
 
 // CatchmentOf returns the site currently attracting traffic from the

@@ -18,6 +18,8 @@ package dataplane
 import (
 	"fmt"
 	"net/netip"
+	"sort"
+	"strings"
 
 	"bestofboth/internal/bgp"
 	"bestofboth/internal/iptrie"
@@ -282,4 +284,51 @@ func (p *Plane) Traceroute(src topology.NodeID, dst netip.Addr) ([]Hop, ForwardR
 		hops = append(hops, Hop{Node: node, RTT: 2 * acc})
 	}
 	return hops, res
+}
+
+// FIBRecord is one forwarding entry as reported by DumpFIB.
+type FIBRecord struct {
+	Prefix netip.Prefix
+	Local  bool
+	Next   topology.NodeID // meaningful when !Local
+}
+
+// DumpFIB returns node's forwarding table sorted by prefix — a stable,
+// comparable view of data-plane state.
+func (p *Plane) DumpFIB(node topology.NodeID) []FIBRecord {
+	var out []FIBRecord
+	p.fibs[node].Walk(func(pfx netip.Prefix, e fibEntry) bool {
+		out = append(out, FIBRecord{Prefix: pfx, Local: e.local, Next: e.next})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Prefix, out[j].Prefix
+		if c := a.Addr().Compare(b.Addr()); c != 0 {
+			return c < 0
+		}
+		return a.Bits() < b.Bits()
+	})
+	return out
+}
+
+// FIBDigest renders every node's forwarding table as canonical text.
+// Equal digests mean the two planes forward every packet identically;
+// regression tests compare them across fail→recover round trips.
+func (p *Plane) FIBDigest() string {
+	var b strings.Builder
+	for id := range p.fibs {
+		recs := p.DumpFIB(topology.NodeID(id))
+		if len(recs) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "node %d\n", id)
+		for _, r := range recs {
+			if r.Local {
+				fmt.Fprintf(&b, "  %s local\n", r.Prefix)
+			} else {
+				fmt.Fprintf(&b, "  %s via %d\n", r.Prefix, r.Next)
+			}
+		}
+	}
+	return b.String()
 }

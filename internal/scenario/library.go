@@ -1,0 +1,88 @@
+package scenario
+
+// Library returns the bundled named scenarios the cdnsim CLI exposes.
+// Each exercises a fault regime the paper argues about but does not
+// measure: flapping (with and without route-flap damping), a correlated
+// regional outage, partial provider loss at the weakly connected sea1
+// site, rolling maintenance drains, and a multi-failure cascade.
+func Library() []*Scenario {
+	return []*Scenario{
+		{
+			Name:        "flap",
+			Description: "sea1 flaps 4 times at a 120 s period, no damping: every cycle re-converges",
+			Events: []Event{
+				{At: 10, Kind: KindFlap, Site: "sea1", Period: 120, Count: 4},
+			},
+		},
+		{
+			Name:        "flap-damped",
+			Description: "the same flap with route-flap damping: downstream penalties suppress the churn and lengthen the tail",
+			Damping:     true,
+			Events: []Event{
+				{At: 10, Kind: KindFlap, Site: "sea1", Period: 120, Count: 4},
+			},
+		},
+		{
+			Name:        "regional-outage",
+			Description: "correlated failure of the mountain-west region: every site within 12 ms of slc (slc, sea1, sea2) fails together",
+			Horizon:     400,
+			Events: []Event{
+				{At: 10, Kind: KindRegionalFail, Site: "slc", Radius: 12},
+				{At: 190, Kind: KindRegionalRecover, Site: "slc", Radius: 12},
+			},
+		},
+		{
+			Name:        "provider-loss-sea1",
+			Description: "sea1 loses its transit provider links but stays up: partial site failure the controller never sees",
+			Horizon:     340,
+			Events: []Event{
+				{At: 10, Kind: KindPartialFail, Site: "sea1", Fraction: 1},
+				{At: 160, Kind: KindPartialRestore, Site: "sea1", Fraction: 1},
+			},
+		},
+		{
+			Name:        "rolling-maintenance",
+			Description: "each site is drained (30 s grace), held down, and recovered in turn, staggered 100 s apart",
+			Events:      rollingMaintenance(),
+		},
+		{
+			Name:        "cascade",
+			Description: "compound incident: atl fails, bos follows, a tier-1 session resets, sea1 loses its provider, then everything heals",
+			Horizon:     600,
+			Events: []Event{
+				{At: 10, Kind: KindFail, Site: "atl"},
+				{At: 40, Kind: KindFail, Site: "bos"},
+				{At: 70, Kind: KindSessionReset, A: "tier1-0", B: "tier1-1"},
+				{At: 100, Kind: KindPartialFail, Site: "sea1", Fraction: 1},
+				{At: 220, Kind: KindPartialRestore, Site: "sea1", Fraction: 1},
+				{At: 280, Kind: KindRecover, Site: "atl"},
+				{At: 340, Kind: KindRecover, Site: "bos"},
+			},
+		},
+	}
+}
+
+// rollingMaintenance drains, holds, and recovers every default site in
+// turn: drain at 10+100i with a 30 s grace, recover 60 s after the drain.
+func rollingMaintenance() []Event {
+	sites := []string{"ams", "ath", "bos", "atl", "sea1", "slc", "sea2", "msn"}
+	out := make([]Event, 0, 2*len(sites))
+	for i, code := range sites {
+		base := 10 + 100*float64(i)
+		out = append(out,
+			Event{At: base, Kind: KindDrain, Site: code, DrainFor: 30},
+			Event{At: base + 60, Kind: KindRecover, Site: code},
+		)
+	}
+	return out
+}
+
+// ByName returns the bundled scenario with the given name, or nil.
+func ByName(name string) *Scenario {
+	for _, sc := range Library() {
+		if sc.Name == name {
+			return sc
+		}
+	}
+	return nil
+}

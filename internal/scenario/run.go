@@ -1,0 +1,341 @@
+package scenario
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"bestofboth/internal/bgp"
+	"bestofboth/internal/core"
+	"bestofboth/internal/dataplane"
+	"bestofboth/internal/netsim"
+	"bestofboth/internal/stats"
+	"bestofboth/internal/topology"
+)
+
+// Env is the concrete world a scenario runs against: an already deployed,
+// converged CDN. experiment.RunScenarioMatrix builds these from world
+// snapshots; tests wire them by hand.
+type Env struct {
+	Sim   *netsim.Sim
+	Topo  *topology.Topology
+	Net   *bgp.Network
+	Plane *dataplane.Plane
+	CDN   *core.CDN
+}
+
+// Group is one probed population: targets that were in Site's catchment at
+// convergence, probed via ReplyTo (the steering address of the prefix
+// under study) from the Prober node — the §5.2 Verfploeter arrangement.
+type Group struct {
+	// Site is the CDN site whose steering prefix is under study.
+	Site string
+	// Prober is the node probes are emitted from.
+	Prober topology.NodeID
+	// ReplyTo is the spoofed source address: targets reply to it, and
+	// where the reply lands reveals the live catchment.
+	ReplyTo netip.Addr
+	// Targets are the probed client nodes.
+	Targets []topology.NodeID
+}
+
+// Options configures a scenario run.
+type Options struct {
+	// ProbeInterval is the per-target ping cadence (default 1.5 s, §5.2).
+	ProbeInterval float64
+	// LossRate injects independent request/reply loss into probing.
+	LossRate float64
+	// UseMonitor runs the CDN's probing-based health monitor during the
+	// scenario, so silent crashes (KindCrash) are detected with emergent
+	// latency instead of never.
+	UseMonitor bool
+	// MonitorInterval/MonitorMisses configure the monitor (defaults
+	// 0.5 s × 3).
+	MonitorInterval float64
+	MonitorMisses   int
+}
+
+func (o *Options) fillDefaults() {
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 1.5
+	}
+	if o.MonitorInterval <= 0 {
+		o.MonitorInterval = 0.5
+	}
+	if o.MonitorMisses <= 0 {
+		o.MonitorMisses = 3
+	}
+}
+
+// DistSummary summarizes a sample distribution. Zero-valued when empty
+// (N=0), keeping results JSON-encodable (no NaNs).
+type DistSummary struct {
+	N   int     `json:"n"`
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	Max float64 `json:"max"`
+}
+
+func summarize(samples []float64) DistSummary {
+	if len(samples) == 0 {
+		return DistSummary{}
+	}
+	cdf := stats.NewCDF(samples)
+	return DistSummary{N: cdf.N(), P50: cdf.Percentile(50), P90: cdf.Percentile(90), Max: cdf.Max()}
+}
+
+// EventResult holds the per-event window metrics: the window runs from the
+// event to the next event (or the horizon).
+type EventResult struct {
+	// At is the event time in seconds from scenario start.
+	At float64 `json:"at"`
+	// WindowEnd is the end of the event's metric window, seconds from
+	// scenario start.
+	WindowEnd float64 `json:"windowEnd"`
+	Kind      string  `json:"kind"`
+	Label     string  `json:"label"`
+	// SitesDown is the number of failed sites immediately after the event.
+	SitesDown int `json:"sitesDown"`
+	// Sent and Answered count probes sent within the window and how many
+	// of them were ever answered.
+	Sent     int `json:"sent"`
+	Answered int `json:"answered"`
+	// Availability is Answered/Sent (1 when nothing was sent).
+	Availability float64 `json:"availability"`
+	// AffectedTargets is the number of targets that lost at least one
+	// probe sent in the window; Lost counts those that never reconnected.
+	AffectedTargets int `json:"affectedTargets"`
+	Lost            int `json:"lost"`
+	// Reconnection summarizes, over affected targets, the delay from the
+	// event to the first reply at or after their first lost probe.
+	Reconnection DistSummary `json:"reconnection"`
+	// FailoverSites counts, per site code, where affected targets' last
+	// reply of the window landed — the post-event catchment of the
+	// disrupted population.
+	FailoverSites map[string]int `json:"failoverSites,omitempty"`
+}
+
+// Detection records one health-monitor detection during the run.
+type Detection struct {
+	Site string  `json:"site"`
+	At   float64 `json:"at"` // seconds from scenario start
+}
+
+// Result is the outcome of one scenario run against one deployed world.
+type Result struct {
+	Scenario  string  `json:"scenario"`
+	Technique string  `json:"technique"`
+	Horizon   float64 `json:"horizon"`
+	Groups    int     `json:"groups"`
+	Targets   int     `json:"targets"`
+	// Sent/Answered/Availability aggregate over the whole run, baseline
+	// included.
+	Sent         int     `json:"sent"`
+	Answered     int     `json:"answered"`
+	Availability float64 `json:"availability"`
+	// BGPUpdates is the number of UPDATE messages the scenario itself
+	// caused (delta over the run).
+	BGPUpdates uint64 `json:"bgpUpdates"`
+	// Detections lists health-monitor detections (empty without
+	// Options.UseMonitor).
+	Detections []Detection   `json:"detections,omitempty"`
+	Events     []EventResult `json:"events"`
+}
+
+// Run executes the scenario against env: it schedules every bound event on
+// the virtual clock, probes every group's targets at the probe cadence
+// until the horizon, runs the simulation, and computes per-event metrics.
+// The env is consumed — its clock advances and its world mutates; callers
+// wanting a pristine world afterwards should run on a snapshot-restored
+// copy.
+func Run(env *Env, sc *Scenario, groups []Group, opts Options) (*Result, error) {
+	opts.fillDefaults()
+	actions, err := sc.bind(env)
+	if err != nil {
+		return nil, err
+	}
+	horizon := sc.EndTime()
+	t0 := env.Sim.Now()
+	msgs0 := env.Net.MessageCount
+
+	res := &Result{
+		Scenario:  sc.Name,
+		Technique: techName(env.CDN),
+		Horizon:   horizon,
+		Groups:    len(groups),
+		Events:    make([]EventResult, len(actions)),
+	}
+
+	// Schedule the timeline. The wrapper records post-event state; a failed
+	// apply aborts the run (reported after the simulation drains).
+	var runErr error
+	for i := range actions {
+		a := &actions[i]
+		slot := &res.Events[i]
+		slot.At = a.at
+		slot.Kind = string(a.kind)
+		slot.Label = a.label
+		env.Sim.At(t0+a.at, func() {
+			if runErr != nil {
+				return
+			}
+			if err := a.apply(env); err != nil {
+				runErr = fmt.Errorf("scenario %s: %s at t=%g: %w", sc.Name, a.label, a.at, err)
+				return
+			}
+			slot.SitesDown = len(env.CDN.Sites()) - len(env.CDN.HealthySites())
+		})
+	}
+
+	var mon *core.Monitor
+	if opts.UseMonitor {
+		m, err := env.CDN.StartMonitor(opts.MonitorInterval, opts.MonitorMisses)
+		if err != nil {
+			return nil, err
+		}
+		m.OnDetect = func(code string, at netsim.Seconds) {
+			res.Detections = append(res.Detections, Detection{Site: code, At: at - t0})
+		}
+		mon = m
+	}
+
+	probers := make([]*dataplane.Prober, len(groups))
+	for i, g := range groups {
+		pr := dataplane.NewProber(env.Plane, g.Prober, g.ReplyTo)
+		pr.LossRate = opts.LossRate
+		for _, tgt := range g.Targets {
+			pr.PingEvery(tgt, opts.ProbeInterval, horizon)
+		}
+		probers[i] = pr
+		res.Targets += len(g.Targets)
+	}
+
+	// Drain: horizon plus slack for the last replies (well under 30 s).
+	env.Sim.RunUntil(t0 + horizon + 30)
+	if mon != nil {
+		mon.Stop()
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	res.BGPUpdates = env.Net.MessageCount - msgs0
+	analyze(env, res, actions, groups, probers, t0)
+	return res, nil
+}
+
+func techName(c *core.CDN) string {
+	if t := c.Technique(); t != nil {
+		return t.Name()
+	}
+	return ""
+}
+
+// analyze computes the per-event and whole-run metrics from the probe
+// traces.
+func analyze(env *Env, res *Result, actions []action, groups []Group, probers []*dataplane.Prober, t0 float64) {
+	siteOf := make(map[topology.NodeID]string, len(env.CDN.Sites()))
+	for _, s := range env.CDN.Sites() {
+		siteOf[s.Node] = s.Code
+	}
+
+	// Per-prober indices: answered seqs, and captures per target in time
+	// order.
+	type trace struct {
+		sent map[topology.NodeID][]dataplane.SentRecord
+		caps map[topology.NodeID][]dataplane.CaptureEntry
+		got  map[uint64]bool
+	}
+	traces := make([]trace, len(probers))
+	for i, pr := range probers {
+		tr := trace{
+			sent: make(map[topology.NodeID][]dataplane.SentRecord),
+			caps: pr.Capture.ByTarget(),
+			got:  make(map[uint64]bool, pr.Capture.Len()),
+		}
+		for _, s := range pr.Sent {
+			tr.sent[s.Target] = append(tr.sent[s.Target], s)
+		}
+		for _, e := range pr.Capture.Entries() {
+			tr.got[e.Seq] = true
+		}
+		traces[i] = tr
+		res.Sent += len(pr.Sent)
+		res.Answered += pr.Capture.Len()
+	}
+	res.Availability = ratio(res.Answered, res.Sent)
+
+	for i := range actions {
+		ev := &res.Events[i]
+		// Window: from this action to the next strictly later one.
+		end := res.Horizon
+		for j := i + 1; j < len(actions); j++ {
+			if actions[j].at > actions[i].at {
+				end = actions[j].at
+				break
+			}
+		}
+		ev.WindowEnd = end
+		winStart, winEnd := t0+actions[i].at, t0+end
+
+		var recon []float64
+		failover := map[string]int{}
+		for gi, g := range groups {
+			tr := &traces[gi]
+			for _, tgt := range g.Targets {
+				sent := tr.sent[tgt]
+				firstLost := -1.0
+				for _, s := range sent {
+					if s.Time < winStart || s.Time >= winEnd {
+						continue
+					}
+					ev.Sent++
+					if tr.got[s.Seq] {
+						ev.Answered++
+					} else if firstLost < 0 {
+						firstLost = s.Time
+					}
+				}
+				if firstLost < 0 {
+					continue // unaffected by this event
+				}
+				ev.AffectedTargets++
+				// Reconnection: first reply at or after the first loss.
+				caps := tr.caps[tgt]
+				ri := sort.Search(len(caps), func(k int) bool { return caps[k].Time >= firstLost })
+				if ri == len(caps) {
+					ev.Lost++
+				} else {
+					recon = append(recon, caps[ri].Time-winStart)
+				}
+				// Failover: where the last reply of the window landed.
+				li := sort.Search(len(caps), func(k int) bool { return caps[k].Time >= winEnd })
+				if li > 0 {
+					last := caps[li-1]
+					if last.Time >= winStart {
+						failover[siteLabel(env, siteOf, last.Site)]++
+					}
+				}
+			}
+		}
+		ev.Availability = ratio(ev.Answered, ev.Sent)
+		ev.Reconnection = summarize(recon)
+		if len(failover) > 0 {
+			ev.FailoverSites = failover
+		}
+	}
+}
+
+func siteLabel(env *Env, siteOf map[topology.NodeID]string, node topology.NodeID) string {
+	if code, ok := siteOf[node]; ok {
+		return code
+	}
+	return env.Topo.Node(node).Name
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}

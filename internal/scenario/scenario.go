@@ -1,0 +1,475 @@
+// Package scenario implements a declarative fault-injection engine: typed
+// event timelines (site crashes, BGP session resets, link failures,
+// partial provider loss, flaps, maintenance drains, correlated regional
+// outages) that run against any deployed CDN technique on the
+// deterministic simulation kernel.
+//
+// The paper evaluates exactly one fault shape — a clean whole-site
+// withdrawal (§5.2) — but its central risk argument (reactive-anycast's
+// global reconfiguration on failure, route-flap damping tails, the
+// pathological-site mechanism of Appendix C.1) only bites under richer
+// fault patterns. A Scenario is a list of timestamped Events over that
+// richer vocabulary; the engine binds events to a concrete world,
+// schedules them on the virtual clock, probes targets throughout, and
+// reports per-event reconnection, failover, and availability metrics.
+//
+// Scenarios are plain data: construct them in Go, or load them from YAML
+// or JSON files (see ParseScenario). A library of named scenarios used by
+// the cdnsim CLI is in library.go.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"bestofboth/internal/topology"
+)
+
+// Kind identifies a fault type on the timeline.
+type Kind string
+
+// The fault vocabulary.
+const (
+	// KindCrash takes a site down silently: no controller reaction until a
+	// health monitor (Options.UseMonitor) detects it.
+	KindCrash Kind = "crash"
+	// KindFail is the paper's §5.2 failure: the site crashes and the
+	// controller reacts after the CDN's DetectionDelay.
+	KindFail Kind = "fail"
+	// KindRecover returns a failed (or drained) site to service.
+	KindRecover Kind = "recover"
+	// KindDrain is a graceful maintenance drain: announcements are
+	// withdrawn and DNS repointed immediately, but the site keeps serving
+	// until DrainFor seconds later, when its data plane stops.
+	KindDrain Kind = "drain"
+	// KindLinkDown fails the link between nodes A and B: routes learned
+	// over it are withdrawn and in-flight updates on it are lost.
+	KindLinkDown Kind = "link-down"
+	// KindLinkUp restores a failed link; both ends re-exchange full tables.
+	KindLinkUp Kind = "link-up"
+	// KindSessionReset bounces the BGP session between A and B without
+	// taking the link down: flush plus immediate full re-advertisement.
+	KindSessionReset Kind = "session-reset"
+	// KindPartialFail fails a Fraction of Site's provider links (partial
+	// site failure: the site stays up but loses part of its transit).
+	KindPartialFail Kind = "partial-fail"
+	// KindPartialRestore restores the links failed by KindPartialFail with
+	// the same Site and Fraction.
+	KindPartialRestore Kind = "partial-restore"
+	// KindRegionalFail fails every CDN site whose metro lies within Radius
+	// (one-way ms of the latency plane) of Site's metro — a correlated
+	// regional outage (power, fiber cut).
+	KindRegionalFail Kind = "regional-fail"
+	// KindRegionalRecover recovers the sites a matching KindRegionalFail
+	// took down.
+	KindRegionalRecover Kind = "regional-recover"
+	// KindFlap is a periodic crash/recover cycle: Count repetitions of
+	// fail at At+i*Period, recover half a period later — the input that
+	// route-flap damping (bgp.DampingConfig) exists to punish.
+	KindFlap Kind = "flap"
+)
+
+// Event is one entry on a scenario timeline. Which fields are meaningful
+// depends on Kind; Validate enforces the per-kind requirements.
+type Event struct {
+	// At is the event time in virtual seconds from scenario start.
+	At float64 `json:"at"`
+	// Kind selects the fault type.
+	Kind Kind `json:"kind"`
+	// Site names the affected CDN site (crash/fail/recover/drain/
+	// partial-*/regional-*/flap).
+	Site string `json:"site,omitempty"`
+	// A and B name the two endpoints of a link/session fault. Site codes
+	// resolve to the site's node; anything else must be a topology node
+	// name (e.g. "transit-sea-weak").
+	A string `json:"a,omitempty"`
+	B string `json:"b,omitempty"`
+	// Fraction is the share of provider links affected by partial-fail /
+	// partial-restore, in (0,1]; at least one link is always chosen.
+	Fraction float64 `json:"fraction,omitempty"`
+	// Radius is the regional-failure metro radius in one-way milliseconds
+	// on the latency plane.
+	Radius float64 `json:"radius,omitempty"`
+	// Period is the flap cycle length in seconds (fail, then recover half
+	// a period later).
+	Period float64 `json:"period,omitempty"`
+	// Count is the number of flap cycles.
+	Count int `json:"count,omitempty"`
+	// DrainFor is the grace period of a drain: seconds the site keeps
+	// forwarding after its announcements are withdrawn.
+	DrainFor float64 `json:"drainFor,omitempty"`
+}
+
+// Scenario is a named fault-injection timeline.
+type Scenario struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description,omitempty"`
+	// Damping requests route-flap damping (bgp.DefaultDamping) in worlds
+	// built for this scenario. It is advisory: the world builder (e.g.
+	// experiment.Runner) honors it; Run itself uses whatever network it is
+	// handed.
+	Damping bool `json:"damping,omitempty"`
+	// Horizon is the probing horizon in virtual seconds from scenario
+	// start. Zero means the last event time plus a 120 s tail.
+	Horizon float64 `json:"horizon,omitempty"`
+	Events  []Event `json:"events"`
+}
+
+func (e *Event) needsSite() bool {
+	switch e.Kind {
+	case KindCrash, KindFail, KindRecover, KindDrain,
+		KindPartialFail, KindPartialRestore,
+		KindRegionalFail, KindRegionalRecover, KindFlap:
+		return true
+	}
+	return false
+}
+
+func (e *Event) needsLink() bool {
+	switch e.Kind {
+	case KindLinkDown, KindLinkUp, KindSessionReset:
+		return true
+	}
+	return false
+}
+
+// Validate checks the scenario's structural well-formedness (field
+// requirements per kind). Site and node names are resolved later, when
+// the scenario is bound to a world.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if len(s.Events) == 0 {
+		return fmt.Errorf("scenario %s: no events", s.Name)
+	}
+	if s.Horizon < 0 {
+		return fmt.Errorf("scenario %s: negative horizon", s.Name)
+	}
+	for i := range s.Events {
+		e := &s.Events[i]
+		where := fmt.Sprintf("scenario %s: event %d (%s)", s.Name, i, e.Kind)
+		if e.At < 0 {
+			return fmt.Errorf("%s: negative time %g", where, e.At)
+		}
+		switch e.Kind {
+		case KindCrash, KindFail, KindRecover, KindDrain:
+		case KindLinkDown, KindLinkUp, KindSessionReset:
+			if e.A == "" || e.B == "" {
+				return fmt.Errorf("%s: needs both endpoints a and b", where)
+			}
+		case KindPartialFail, KindPartialRestore:
+			if e.Fraction <= 0 || e.Fraction > 1 {
+				return fmt.Errorf("%s: fraction %g outside (0,1]", where, e.Fraction)
+			}
+		case KindRegionalFail, KindRegionalRecover:
+			if e.Radius <= 0 {
+				return fmt.Errorf("%s: needs a positive radius", where)
+			}
+		case KindFlap:
+			if e.Period <= 0 {
+				return fmt.Errorf("%s: needs a positive period", where)
+			}
+			if e.Count <= 0 {
+				return fmt.Errorf("%s: needs a positive count", where)
+			}
+		default:
+			return fmt.Errorf("scenario %s: event %d: unknown kind %q", s.Name, i, e.Kind)
+		}
+		if e.needsSite() && e.Site == "" {
+			return fmt.Errorf("%s: needs a site", where)
+		}
+	}
+	return nil
+}
+
+// EndTime returns the probing horizon: Horizon when set, otherwise the
+// last action time (flaps expanded) plus a 120 s convergence tail.
+func (s *Scenario) EndTime() float64 {
+	if s.Horizon > 0 {
+		return s.Horizon
+	}
+	last := 0.0
+	for _, e := range s.Events {
+		at := e.At
+		if e.Kind == KindFlap {
+			at += float64(e.Count-1)*e.Period + e.Period/2
+		}
+		if at > last {
+			last = at
+		}
+	}
+	return last + 120
+}
+
+// action is one bound, scheduled fault: an event resolved against a
+// concrete world, with flaps expanded into their fail/recover cycles.
+type action struct {
+	at    float64
+	kind  Kind
+	label string
+	apply func(env *Env) error
+}
+
+// bind resolves every event against the world and expands composite
+// events, returning the schedule sorted by time (stable: ties keep the
+// timeline's order).
+func (s *Scenario) bind(env *Env) ([]action, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var out []action
+	for i := range s.Events {
+		acts, err := bindEvent(env, &s.Events[i])
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: event %d: %w", s.Name, i, err)
+		}
+		out = append(out, acts...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].at < out[j].at })
+	return out, nil
+}
+
+func bindEvent(env *Env, e *Event) ([]action, error) {
+	switch e.Kind {
+	case KindCrash:
+		if err := env.checkSite(e.Site); err != nil {
+			return nil, err
+		}
+		site := e.Site
+		return []action{{e.At, e.Kind, "crash " + site, func(env *Env) error {
+			return env.CDN.CrashSite(site)
+		}}}, nil
+	case KindFail:
+		if err := env.checkSite(e.Site); err != nil {
+			return nil, err
+		}
+		site := e.Site
+		return []action{{e.At, e.Kind, "fail " + site, func(env *Env) error {
+			return env.CDN.FailSite(site)
+		}}}, nil
+	case KindRecover:
+		if err := env.checkSite(e.Site); err != nil {
+			return nil, err
+		}
+		site := e.Site
+		return []action{{e.At, e.Kind, "recover " + site, func(env *Env) error {
+			return env.CDN.RecoverSite(site)
+		}}}, nil
+	case KindDrain:
+		if err := env.checkSite(e.Site); err != nil {
+			return nil, err
+		}
+		site, grace := e.Site, e.DrainFor
+		label := fmt.Sprintf("drain %s (%gs grace)", site, grace)
+		return []action{{e.At, e.Kind, label, func(env *Env) error {
+			if err := env.CDN.DrainSite(site); err != nil {
+				return err
+			}
+			node := env.CDN.Site(site).Node
+			env.Sim.After(grace, func() {
+				// Stop forwarding only if the site was not recovered
+				// during the grace period.
+				if env.CDN.Failed(site) {
+					env.Plane.SetDown(node, true)
+				}
+			})
+			return nil
+		}}}, nil
+	case KindLinkDown, KindLinkUp, KindSessionReset:
+		a, err := env.resolveNode(e.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := env.resolveNode(e.B)
+		if err != nil {
+			return nil, err
+		}
+		// Fail fast on nonexistent links at bind time.
+		if _, ok := env.Topo.Adjacent(a, b); !ok {
+			return nil, fmt.Errorf("no link between %q and %q", e.A, e.B)
+		}
+		label := fmt.Sprintf("%s %s<->%s", e.Kind, e.A, e.B)
+		kind := e.Kind
+		return []action{{e.At, kind, label, func(env *Env) error {
+			switch kind {
+			case KindLinkDown:
+				return env.Net.SetLinkDown(a, b)
+			case KindLinkUp:
+				return env.Net.SetLinkUp(a, b)
+			default:
+				return env.Net.ResetSession(a, b)
+			}
+		}}}, nil
+	case KindPartialFail, KindPartialRestore:
+		links, err := env.providerLinks(e.Site, e.Fraction)
+		if err != nil {
+			return nil, err
+		}
+		down := e.Kind == KindPartialFail
+		verb := "partial-restore"
+		if down {
+			verb = "partial-fail"
+		}
+		label := fmt.Sprintf("%s %s (%d provider links)", verb, e.Site, len(links))
+		site := e.Site
+		return []action{{e.At, e.Kind, label, func(env *Env) error {
+			node := env.CDN.Site(site).Node
+			for _, to := range links {
+				var err error
+				if down {
+					err = env.Net.SetLinkDown(node, to)
+				} else {
+					err = env.Net.SetLinkUp(node, to)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}}}, nil
+	case KindRegionalFail, KindRegionalRecover:
+		sites, err := env.regionalSites(e.Site, e.Radius)
+		if err != nil {
+			return nil, err
+		}
+		fail := e.Kind == KindRegionalFail
+		verb := "regional-recover"
+		if fail {
+			verb = "regional-fail"
+		}
+		label := fmt.Sprintf("%s %s r=%g [%s]", verb, e.Site, e.Radius, joinSites(sites))
+		return []action{{e.At, e.Kind, label, func(env *Env) error {
+			for _, code := range sites {
+				if fail {
+					if env.CDN.Failed(code) {
+						continue
+					}
+					if err := env.CDN.FailSite(code); err != nil {
+						return err
+					}
+				} else {
+					if !env.CDN.Failed(code) {
+						continue
+					}
+					if err := env.CDN.RecoverSite(code); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}}}, nil
+	case KindFlap:
+		if err := env.checkSite(e.Site); err != nil {
+			return nil, err
+		}
+		site := e.Site
+		out := make([]action, 0, 2*e.Count)
+		for i := 0; i < e.Count; i++ {
+			cycle := e.At + float64(i)*e.Period
+			n := i + 1
+			out = append(out, action{cycle, KindFail,
+				fmt.Sprintf("flap %s down (%d/%d)", site, n, e.Count),
+				func(env *Env) error { return env.CDN.FailSite(site) }})
+			out = append(out, action{cycle + e.Period/2, KindRecover,
+				fmt.Sprintf("flap %s up (%d/%d)", site, n, e.Count),
+				func(env *Env) error { return env.CDN.RecoverSite(site) }})
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unknown kind %q", e.Kind)
+}
+
+func joinSites(codes []string) string {
+	out := ""
+	for i, c := range codes {
+		if i > 0 {
+			out += ","
+		}
+		out += c
+	}
+	return out
+}
+
+func (env *Env) checkSite(code string) error {
+	if env.CDN.Site(code) == nil {
+		return fmt.Errorf("unknown site %q", code)
+	}
+	return nil
+}
+
+// resolveNode maps a name to a topology node: CDN site codes first, then
+// topology node names.
+func (env *Env) resolveNode(name string) (topology.NodeID, error) {
+	if s := env.CDN.Site(name); s != nil {
+		return s.Node, nil
+	}
+	if n := env.Topo.NodeByName(name); n != nil {
+		return n.ID, nil
+	}
+	return 0, fmt.Errorf("unknown site or node %q", name)
+}
+
+// providerLinks returns the neighbor IDs of the first ceil(frac·n)
+// provider adjacencies of the site's node, in ascending neighbor order —
+// a deterministic "lose part of your transit" selection.
+func (env *Env) providerLinks(site string, frac float64) ([]topology.NodeID, error) {
+	s := env.CDN.Site(site)
+	if s == nil {
+		return nil, fmt.Errorf("unknown site %q", site)
+	}
+	var providers []topology.NodeID
+	for _, adj := range env.Topo.Node(s.Node).Adj {
+		if adj.Rel == topology.RelProvider {
+			providers = append(providers, adj.To)
+		}
+	}
+	if len(providers) == 0 {
+		return nil, fmt.Errorf("site %q has no provider links", site)
+	}
+	slices.Sort(providers)
+	k := int(math.Ceil(frac * float64(len(providers))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(providers) {
+		k = len(providers)
+	}
+	return providers[:k], nil
+}
+
+// regionalSites returns the codes of all CDN sites whose metro center lies
+// within radius of the center site's metro center, in site order. Metro
+// centers (not scattered node positions) are used so the affected set is a
+// property of the scenario, not of the topology seed.
+func (env *Env) regionalSites(center string, radius float64) ([]string, error) {
+	c := env.CDN.Site(center)
+	if c == nil {
+		return nil, fmt.Errorf("unknown site %q", center)
+	}
+	origin := nearestMetro(env.Topo.Node(c.Node).Loc)
+	var out []string
+	for _, s := range env.CDN.Sites() {
+		m := nearestMetro(env.Topo.Node(s.Node).Loc)
+		if origin.Loc.Dist(m.Loc) <= radius {
+			out = append(out, s.Code)
+		}
+	}
+	return out, nil
+}
+
+// nearestMetro snaps a scattered node position back to its metro. The
+// generator scatters nodes at most ~1.4 ms from their metro center and
+// metro centers are several ms apart, so the snap is unambiguous.
+func nearestMetro(p topology.Point) topology.Metro {
+	best := topology.Metros[0]
+	bestD := math.Inf(1)
+	for _, m := range topology.Metros {
+		if d := p.Dist(m.Loc); d < bestD {
+			best, bestD = m, d
+		}
+	}
+	return best
+}

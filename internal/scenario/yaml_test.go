@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestParseYAMLScenario(t *testing.T) {
+	src := `# a correlated regional outage
+name: regional-outage
+description: "mountain-west region fails together"  # inline comment
+damping: false
+horizon: 400
+events:
+  - at: 10
+    kind: regional-fail
+    site: slc
+    radius: 12
+  - at: 190
+    kind: regional-recover
+    site: slc
+    radius: 12
+`
+	sc, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Scenario{
+		Name:        "regional-outage",
+		Description: "mountain-west region fails together",
+		Horizon:     400,
+		Events: []Event{
+			{At: 10, Kind: KindRegionalFail, Site: "slc", Radius: 12},
+			{At: 190, Kind: KindRegionalRecover, Site: "slc", Radius: 12},
+		},
+	}
+	if !reflect.DeepEqual(sc, want) {
+		t.Errorf("parsed scenario = %+v, want %+v", sc, want)
+	}
+}
+
+func TestParseYAMLAllEventFields(t *testing.T) {
+	src := `name: everything
+damping: true
+events:
+  - at: 5
+    kind: link-down
+    a: tier1-0
+    b: tier1-1
+  - at: 10
+    kind: partial-fail
+    site: sea1
+    fraction: 0.5
+  - at: 15
+    kind: flap
+    site: sea1
+    period: 60
+    count: 3
+  - at: 20
+    kind: drain
+    site: atl
+    drainFor: 30
+`
+	sc, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Damping {
+		t.Error("damping not parsed")
+	}
+	want := []Event{
+		{At: 5, Kind: KindLinkDown, A: "tier1-0", B: "tier1-1"},
+		{At: 10, Kind: KindPartialFail, Site: "sea1", Fraction: 0.5},
+		{At: 15, Kind: KindFlap, Site: "sea1", Period: 60, Count: 3},
+		{At: 20, Kind: KindDrain, Site: "atl", DrainFor: 30},
+	}
+	if !reflect.DeepEqual(sc.Events, want) {
+		t.Errorf("events = %+v, want %+v", sc.Events, want)
+	}
+}
+
+func TestParseJSONScenario(t *testing.T) {
+	src := `{
+  "name": "one-fail",
+  "horizon": 100,
+  "events": [{"at": 10, "kind": "fail", "site": "atl"}]
+}`
+	sc, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "one-fail" || len(sc.Events) != 1 || sc.Events[0].Kind != KindFail {
+		t.Errorf("parsed JSON scenario = %+v", sc)
+	}
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"empty", ""},
+		{"tabs", "name: x\nevents:\n\t- at: 1\n"},
+		{"unknown scenario field", "name: x\nbogus: 1\nevents:\n  - at: 1\n    kind: fail\n    site: atl\n"},
+		{"unknown event field", "name: x\nevents:\n  - at: 1\n    kind: fail\n    site: atl\n    wat: 2\n"},
+		{"duplicate key", "name: x\nname: y\nevents:\n  - at: 1\n    kind: fail\n    site: atl\n"},
+		{"bad number", "name: x\nhorizon: soon\nevents:\n  - at: 1\n    kind: fail\n    site: atl\n"},
+		{"events not a list", "name: x\nevents: 3\n"},
+		{"stray indentation", "name: x\nevents:\n  - at: 1\n    kind: fail\n    site: atl\n      dangling: 1\n"},
+		{"invalid after parse", "name: x\nevents:\n  - at: 1\n    kind: fail\n"}, // fail needs a site
+		{"top level list", "- a\n- b\n"},
+		{"bad json", "{\"name\": }"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse([]byte(tc.src)); err == nil {
+			t.Errorf("%s: Parse accepted bad input", tc.name)
+		}
+	}
+}
+
+func TestParseRoundTripsLibraryJSON(t *testing.T) {
+	// Every library scenario survives a JSON round-trip through Parse.
+	for _, sc := range Library() {
+		data, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if !reflect.DeepEqual(back, sc) {
+			t.Errorf("%s: round-trip mismatch:\n got %+v\nwant %+v", sc.Name, back, sc)
+		}
+	}
+}
