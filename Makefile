@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet race race-full bench bench-baseline ci
+.PHONY: tier1 vet race race-full bench bench-baseline bench-smoke ci
 
 # Tier-1 gate: must stay green (see ROADMAP.md).
 tier1:
@@ -17,8 +17,13 @@ race: vet
 race-full: vet
 	$(GO) test -race ./...
 
+# One iteration of Figure 2 bare and with a live metrics registry: catches
+# benchmark rot and instrumentation regressions without a full bench run.
+bench-smoke:
+	$(GO) test -bench 'BenchmarkFigure2(Metrics)?$$' -benchtime 1x -run '^$$' .
+
 # Everything CI runs (see .github/workflows/ci.yml).
-ci: tier1 vet race
+ci: tier1 vet race bench-smoke
 
 # Figure-2 + convergence benchmarks with allocation stats.
 bench:

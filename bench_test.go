@@ -18,6 +18,7 @@ import (
 	"bestofboth/internal/dataplane"
 	"bestofboth/internal/experiment"
 	"bestofboth/internal/netsim"
+	"bestofboth/internal/obs"
 	"bestofboth/internal/scenario"
 	"bestofboth/internal/topology"
 )
@@ -111,6 +112,26 @@ func BenchmarkFigure2Parallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Figure2(benchConfig(1), sel, benchFig2Techs, benchSites, benchFailover()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2Metrics is BenchmarkFigure2Parallel with a live metrics
+// registry on every layer; comparing the two bounds the instrumentation
+// overhead (the acceptance budget is ≤2% with the registry disabled, and
+// the enabled path should stay within a few percent).
+func BenchmarkFigure2Metrics(b *testing.B) {
+	sel := getSelection(b)
+	reg := obs.NewRegistry()
+	r := &experiment.Runner{Obs: reg}
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Figure2(benchConfig(1), sel, benchFig2Techs, benchSites, benchFailover()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, m := range reg.Snapshot() {
+		if m.Name == "netsim_events_executed_total" {
+			b.ReportMetric(float64(m.Value)/float64(b.N), "kernel-events/op")
 		}
 	}
 }

@@ -28,6 +28,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"strings"
@@ -35,6 +37,7 @@ import (
 
 	"bestofboth/internal/core"
 	"bestofboth/internal/experiment"
+	"bestofboth/internal/obs"
 	"bestofboth/internal/stats"
 	"bestofboth/internal/topology"
 )
@@ -52,8 +55,12 @@ type options struct {
 	trials     int
 	workers    int
 	jsonOut    string
+	metricsOut string
+	pprofAddr  string
+	progress   bool
 
 	report *experiment.Report
+	reg    *obs.Registry
 }
 
 func main() {
@@ -71,7 +78,23 @@ func main() {
 	flag.IntVar(&opts.workers, "workers", runtime.NumCPU(),
 		"concurrent failover runs (1 = sequential; results are identical at any worker count)")
 	flag.StringVar(&opts.jsonOut, "json", "", "also write results as JSON to this file")
+	flag.StringVar(&opts.metricsOut, "metrics", "",
+		"write the final metric snapshot here (.json = JSON, otherwise Prometheus text)")
+	flag.StringVar(&opts.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.BoolVar(&opts.progress, "progress", false, "print live run progress to stderr")
 	flag.Parse()
+
+	// The registry is always live: instrumentation is pure counting, never
+	// perturbs the simulation, and costs a few percent at most. -metrics
+	// only controls whether the snapshot is written out.
+	opts.reg = obs.NewRegistry()
+	if opts.pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(opts.pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "cdnsim: pprof: %v\n", err)
+			}
+		}()
+	}
 
 	if flag.NArg() >= 1 && flag.Arg(0) == "scenario" {
 		// The scenario subcommand owns its trailing flags and keeps stdout
@@ -95,22 +118,60 @@ func main() {
 }
 
 func (o options) worldConfig() experiment.WorldConfig {
-	cfg := experiment.WorldConfig{Seed: o.seed}
-	if o.scale != 1.0 {
-		cfg.Topology = topology.GenConfig{
-			NumTransit:    max(20, int(60*o.scale)),
-			NumRegional:   max(8, int(40*o.scale)),
-			NumEyeball:    max(20, int(150*o.scale)),
-			NumStub:       max(40, int(600*o.scale)),
-			NumUniversity: max(8, int(36*o.scale)),
-		}
-	}
-	return cfg
+	return experiment.DefaultWorldConfig(
+		experiment.WithSeed(o.seed),
+		experiment.WithScale(o.scale),
+		experiment.WithWorkers(o.workers),
+		experiment.WithObs(o.reg),
+	)
 }
 
-// runner builds the experiment runner honoring -workers.
+// runner builds the experiment runner honoring -workers, sharing the
+// process-wide registry, and reporting progress when -progress is set.
 func (o options) runner() *experiment.Runner {
-	return &experiment.Runner{Workers: o.workers}
+	r := o.worldConfig().Runner()
+	if o.progress {
+		r.Progress = progressPrinter()
+	}
+	return r
+}
+
+// progressPrinter returns a stderr progress callback, throttled by wall
+// clock so tight matrices do not flood the terminal; the final update
+// always prints. Runner serializes calls, so no locking is needed.
+func progressPrinter() func(done, total int) {
+	var last time.Time
+	return func(done, total int) {
+		now := time.Now()
+		if done != total && now.Sub(last) < 100*time.Millisecond {
+			return
+		}
+		last = now
+		fmt.Fprintf(os.Stderr, "\rruns %d/%d", done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
+
+// finish writes the optional metric snapshot and, when JSON output was
+// requested, the per-run manifest describing the invocation.
+func (o options) finish(command string, cfg experiment.WorldConfig) error {
+	if o.jsonOut != "" {
+		mp := experiment.ManifestPath(o.jsonOut)
+		man := experiment.NewManifest(command, cfg, o.workers, o.reg)
+		if err := man.WriteFile(mp); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", mp)
+	}
+	if o.metricsOut != "" {
+		if err := o.reg.WriteFile(o.metricsOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", o.metricsOut)
+	}
+	return nil
 }
 
 func (o options) failoverConfig() experiment.FailoverConfig {
@@ -228,6 +289,9 @@ func run(cmd string, o options) error {
 			return err
 		}
 		fmt.Printf("\nwrote %s\n", o.jsonOut)
+	}
+	if err := o.finish(cmd, cfg); err != nil {
+		return err
 	}
 	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
@@ -447,11 +511,4 @@ func runUnicastDNS(cfg experiment.WorldConfig, o options) error {
 		o.report.Add("unicastDNS", experiment.SummarizeCDF(cdf, 120))
 	}
 	return nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -57,14 +57,16 @@ func runScenarioCmd(args []string, o options) error {
 		return err
 	}
 
-	cfg := options{seed: *seed, scale: o.scale}.worldConfig()
+	sopts := o
+	sopts.seed, sopts.workers, sopts.jsonOut = *seed, *workers, *jsonOut
+	cfg := sopts.worldConfig()
 	fmt.Fprintf(os.Stderr, "selecting targets (seed=%d, cap=%d/site)...\n", *seed, *targets)
 	sel, err := experiment.SelectTargets(cfg, *targets)
 	if err != nil {
 		return err
 	}
 
-	runner := &experiment.Runner{Workers: *workers}
+	runner := sopts.runner()
 	sco := experiment.DefaultScenarioConfig()
 	sco.MaxTargetsPerSite = *perSite
 	sco.UseMonitor = *monitor
@@ -85,7 +87,7 @@ func runScenarioCmd(args []string, o options) error {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
-	return nil
+	return sopts.finish("scenario:"+sc.Name, cfg)
 }
 
 func printScenarioList() {

@@ -9,19 +9,17 @@ import (
 	"fmt"
 	"log"
 
-	"bestofboth/internal/core"
-	"bestofboth/internal/dns"
-	"bestofboth/internal/experiment"
-	"bestofboth/internal/stats"
-	"bestofboth/internal/topology"
+	"bestofboth/pkg/bestofboth"
 )
 
 func main() {
-	w, err := experiment.NewWorld(experiment.WorldConfig{Seed: 55})
+	w, err := bestofboth.NewWorld(bestofboth.DefaultWorldConfig(
+		bestofboth.WithSeed(55),
+	))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := w.CDN.Deploy(core.ReactiveAnycast{}); err != nil {
+	if err := w.CDN.Deploy(bestofboth.ReactiveAnycast{}); err != nil {
 		log.Fatal(err)
 	}
 	w.Converge(3600)
@@ -37,7 +35,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var clients []topology.NodeID
+	var clients []bestofboth.NodeID
 	for _, n := range w.Targets() {
 		clients = append(clients, n.ID)
 	}
@@ -48,7 +46,7 @@ func main() {
 
 	// A client resolves through a recursive resolver carrying its subnet
 	// (RFC 7871) and receives its assigned site.
-	resolver := dns.NewResolver(w.CDN.Authoritative())
+	resolver := bestofboth.NewResolver(w.CDN.Authoritative())
 	probe := clients[17]
 	caddr := w.Topo.Node(probe).Prefix.Addr().Next()
 	addrs, _, err := resolver.ResolveFor(w.Sim.Now(), "www.cdn.example", caddr)
@@ -60,7 +58,7 @@ func main() {
 
 	// Fail the busiest site; the health monitor detects it and the
 	// balancer moves its clients.
-	var busiest *core.Site
+	var busiest *bestofboth.Site
 	for _, s := range w.CDN.Sites() {
 		if busiest == nil || lb.Load(s.Code) > lb.Load(busiest.Code) {
 			busiest = s
@@ -75,7 +73,7 @@ func main() {
 		lb.Rebalance()
 	}
 	fmt.Printf("\ncrashing busiest site %s (%d clients)...\n", busiest.Code, lb.Load(busiest.Code))
-	if err := w.CDN.CrashSite(busiest.Code); err != nil {
+	if _, err := w.CDN.CrashSite(busiest.Code); err != nil {
 		log.Fatal(err)
 	}
 	w.Sim.RunFor(30)
@@ -88,8 +86,8 @@ func main() {
 	fmt.Println("reactive-anycast keeps even stale-DNS clients reachable meanwhile.")
 }
 
-func printLoads(w *experiment.World, lb *core.LoadBalancer) {
-	t := &stats.Table{Header: []string{"site", "load", "capacity", "state"}}
+func printLoads(w *bestofboth.World, lb *bestofboth.LoadBalancer) {
+	t := &bestofboth.Table{Header: []string{"site", "load", "capacity", "state"}}
 	for _, s := range w.CDN.Sites() {
 		capStr := "∞"
 		if c, ok := lb.Capacity[s.Code]; ok {

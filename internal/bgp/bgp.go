@@ -26,6 +26,7 @@ import (
 	"slices"
 
 	"bestofboth/internal/netsim"
+	"bestofboth/internal/obs"
 	"bestofboth/internal/topology"
 )
 
@@ -215,6 +216,20 @@ type Network struct {
 
 	// MessageCount tallies UPDATE messages delivered, for ablation studies.
 	MessageCount uint64
+
+	// Metrics are nil until Instrument attaches a registry; every update
+	// method is nil-receiver safe, so the uninstrumented hot path pays
+	// only the nil checks.
+	m struct {
+		sent         *obs.Counter
+		sentAnn      *obs.Counter
+		sentWdr      *obs.Counter
+		received     *obs.Counter
+		dampFlaps    *obs.Counter
+		dampSupp     *obs.Counter
+		prefixStates *obs.Counter
+		adjIn        *obs.Gauge
+	}
 }
 
 // New builds a Network with one speaker per topology node.
@@ -228,6 +243,23 @@ func New(sim *netsim.Sim, topo *topology.Topology, cfg Config) *Network {
 		sp.resolveReverse()
 	}
 	return n
+}
+
+// Instrument attaches protocol metrics to r: UPDATEs sent (split into
+// announcements and withdrawals) and received, damping flaps and
+// suppressions, per-prefix RIB state allocations, and the aggregate
+// adj-RIB-in occupancy across all speakers. Instrumentation is pure
+// counting — no randomness, no scheduling — so instrumented runs stay
+// bit-identical to bare ones. A nil registry detaches.
+func (n *Network) Instrument(r *obs.Registry) {
+	n.m.sent = r.Counter("bgp_updates_sent_total")
+	n.m.sentAnn = r.Counter("bgp_announcements_sent_total")
+	n.m.sentWdr = r.Counter("bgp_withdrawals_sent_total")
+	n.m.received = r.Counter("bgp_updates_received_total")
+	n.m.dampFlaps = r.Counter("bgp_damping_flaps_total")
+	n.m.dampSupp = r.Counter("bgp_damping_suppressions_total")
+	n.m.prefixStates = r.Counter("bgp_prefix_states_total")
+	n.m.adjIn = r.Gauge("bgp_adj_rib_in_entries")
 }
 
 // Sim returns the simulation kernel the network runs on.

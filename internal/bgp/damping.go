@@ -77,8 +77,10 @@ func (s *Speaker) flap(p *prefixState, sess int, cfg *DampingConfig) bool {
 	now := s.net.sim.Now()
 	d.decayTo(now, cfg.HalfLife)
 	d.penalty += cfg.Penalty
+	s.net.m.dampFlaps.Inc()
 	if !d.suppressed && d.penalty >= cfg.SuppressAt {
 		d.suppressed = true
+		s.net.m.dampSupp.Inc()
 		s.scheduleReuse(p, sess, cfg)
 	}
 	return d.suppressed

@@ -94,6 +94,7 @@ func (s *Speaker) state(p netip.Prefix) *prefixState {
 			pending:     make([]bool, n),
 		}
 		s.prefixes[p] = st
+		s.net.m.prefixStates.Inc()
 	}
 	return st
 }
@@ -170,7 +171,9 @@ func importPref(rel topology.Rel) int {
 // receive processes an UPDATE delivered on session sess.
 func (s *Speaker) receive(sess int, u Update) {
 	s.net.MessageCount++
+	s.net.m.received.Inc()
 	st := s.state(u.Prefix)
+	hadIn := st.in[sess] != nil
 	damping := s.net.cfg.Damping
 	switch u.Type {
 	case Announce:
@@ -198,6 +201,13 @@ func (s *Speaker) receive(sess int, u Update) {
 			s.flap(st, sess, damping)
 		}
 		st.in[sess] = nil
+	}
+	if hasIn := st.in[sess] != nil; hasIn != hadIn {
+		if hasIn {
+			s.net.m.adjIn.Add(1)
+		} else {
+			s.net.m.adjIn.Add(-1)
+		}
 	}
 	s.recompute(u.Prefix, st)
 	s.exportAll(u.Prefix, st)
@@ -425,6 +435,12 @@ func (s *Speaker) send(sess int, u Update) {
 	if rev < 0 {
 		return // asymmetric link; Validate prevents this
 	}
+	s.net.m.sent.Inc()
+	if u.Type == Withdraw {
+		s.net.m.sentWdr.Inc()
+	} else {
+		s.net.m.sentAnn.Inc()
+	}
 	if u.Route != nil {
 		u.Route = u.Route.Clone()
 	}
@@ -460,6 +476,7 @@ func (s *Speaker) flushSession(sess int) {
 			continue
 		}
 		st.in[sess] = nil
+		s.net.m.adjIn.Add(-1)
 		s.recompute(p, st)
 		s.exportAll(p, st)
 	}

@@ -30,6 +30,7 @@ import (
 	"bestofboth/internal/dataplane"
 	"bestofboth/internal/dns"
 	"bestofboth/internal/netsim"
+	"bestofboth/internal/obs"
 	"bestofboth/internal/topology"
 )
 
@@ -105,6 +106,13 @@ type CDN struct {
 
 	// DNSTTL is the TTL on service A records.
 	DNSTTL uint32
+
+	// Metrics are nil until Instrument attaches a registry (nil-safe).
+	m struct {
+		transitions *obs.Counter
+		byKind      [4]*obs.Counter
+		reactions   *obs.Counter
+	}
 }
 
 // Config bundles CDN construction parameters.
@@ -169,6 +177,18 @@ func (c *CDN) Site(code string) *Site { return c.byCode[code] }
 
 // Authoritative exposes the CDN's DNS server.
 func (c *CDN) Authoritative() *dns.Authoritative { return c.auth }
+
+// Instrument attaches controller metrics to r — site transitions (total
+// and per kind) and failure reactions — and instruments the authoritative
+// DNS server. A nil registry detaches.
+func (c *CDN) Instrument(r *obs.Registry) {
+	c.m.transitions = r.Counter("cdn_site_transitions_total")
+	for k := TransitionCrash; k <= TransitionRecover; k++ {
+		c.m.byKind[k] = r.Counter("cdn_site_transitions_" + k.String() + "_total")
+	}
+	c.m.reactions = r.Counter("cdn_failure_reactions_total")
+	c.auth.Instrument(r)
+}
 
 // Technique returns the active technique, or nil before Deploy.
 func (c *CDN) Technique() Technique { return c.technique }
@@ -269,145 +289,6 @@ func (c *CDN) HealthySites() []*Site {
 		}
 	}
 	return out
-}
-
-// CrashSite takes a site down at the current virtual time without any
-// controller reaction: the site stops forwarding and its announcements are
-// withdrawn (its BGP sessions are gone), but nothing else happens until
-// the health-monitoring path notices — use FailSite for the paper's
-// fail-and-react sequence, or StartMonitor to detect crashes from probing.
-func (c *CDN) CrashSite(code string) error {
-	s := c.byCode[code]
-	if s == nil {
-		return fmt.Errorf("core: unknown site %q", code)
-	}
-	if c.failed[code] {
-		return fmt.Errorf("core: site %q already failed", code)
-	}
-	if c.technique == nil {
-		return fmt.Errorf("core: no technique deployed")
-	}
-	c.failed[code] = true
-	delete(c.reacted, code)
-	c.plane.SetDown(s.Node, true)
-	c.withdrawAll(s.Node)
-	return nil
-}
-
-// ReactToFailure runs the controller's response to a detected site
-// failure: the technique's reactive announcements plus DNS repointing. It
-// is idempotent per failure episode.
-func (c *CDN) ReactToFailure(code string) error {
-	s := c.byCode[code]
-	if s == nil {
-		return fmt.Errorf("core: unknown site %q", code)
-	}
-	if !c.failed[code] {
-		return fmt.Errorf("core: site %q is not failed", code)
-	}
-	if c.reacted[code] {
-		return nil
-	}
-	c.reacted[code] = true
-	if err := c.technique.OnSiteFailure(c, s); err != nil {
-		return err
-	}
-	// DNS: repoint the failed site's name and the main name at a healthy
-	// site.
-	healthy := c.HealthySites()
-	if len(healthy) == 0 {
-		c.auth.RemoveA(s.Code)
-		c.auth.RemoveA("www")
-		return nil
-	}
-	backup := healthy[0]
-	if err := c.auth.SetA(s.Code, c.DNSTTL, c.technique.SteerAddr(c, backup)); err != nil {
-		return err
-	}
-	if c.dualStack {
-		if err := c.auth.SetAAAA(s.Code, c.DNSTTL, c.SteerAddr6(backup)); err != nil {
-			return err
-		}
-		if err := c.auth.SetAAAA("www", c.DNSTTL, c.SteerAddr6(backup)); err != nil {
-			return err
-		}
-	}
-	return c.auth.SetA("www", c.DNSTTL, c.technique.SteerAddr(c, backup))
-}
-
-// FailSite emulates a site failure at the current virtual time: the site
-// withdraws all its announcements and stops forwarding (§5.2). After
-// DetectionDelay the controller fires the technique's reactive behavior and
-// repoints DNS names at a healthy site.
-func (c *CDN) FailSite(code string) error {
-	if err := c.CrashSite(code); err != nil {
-		return err
-	}
-	c.sim.After(c.DetectionDelay, func() {
-		c.ReactToFailure(code)
-	})
-	return nil
-}
-
-// DrainSite takes a site out of service gracefully (maintenance): the
-// controller withdraws the site's announcements and repoints DNS
-// immediately — no detection delay, the operator initiated it — but the
-// site keeps forwarding, so traffic still in flight or still arriving on
-// stale routes is served while BGP converges away. The caller decides when
-// draining is complete and stops the data plane (Plane().SetDown), which
-// the scenario engine's maintenance-drain event does after its grace
-// period. RecoverSite returns the site to service.
-func (c *CDN) DrainSite(code string) error {
-	s := c.byCode[code]
-	if s == nil {
-		return fmt.Errorf("core: unknown site %q", code)
-	}
-	if c.failed[code] {
-		return fmt.Errorf("core: site %q already failed", code)
-	}
-	if c.technique == nil {
-		return fmt.Errorf("core: no technique deployed")
-	}
-	c.failed[code] = true
-	delete(c.reacted, code)
-	c.withdrawAll(s.Node)
-	return c.ReactToFailure(code)
-}
-
-// RecoverSite restores a failed site: it resumes forwarding, reinstalls the
-// technique's normal-operation announcements for the site, and restores the
-// DNS records the failure reaction repointed — the site's own name and the
-// main service name.
-func (c *CDN) RecoverSite(code string) error {
-	s := c.byCode[code]
-	if s == nil {
-		return fmt.Errorf("core: unknown site %q", code)
-	}
-	if !c.failed[code] {
-		return fmt.Errorf("core: site %q is not failed", code)
-	}
-	delete(c.failed, code)
-	c.plane.SetDown(s.Node, false)
-	if err := c.technique.OnSiteRecovery(c, s); err != nil {
-		return err
-	}
-	if err := c.auth.SetA(s.Code, c.DNSTTL, c.technique.SteerAddr(c, s)); err != nil {
-		return err
-	}
-	if c.dualStack {
-		if err := c.auth.SetAAAA(s.Code, c.DNSTTL, c.SteerAddr6(s)); err != nil {
-			return err
-		}
-	}
-	// Point the main name back at the first healthy site; with every site
-	// recovered this is the deployment-time default again.
-	best := c.HealthySites()[0]
-	if c.dualStack {
-		if err := c.auth.SetAAAA("www", c.DNSTTL, c.SteerAddr6(best)); err != nil {
-			return err
-		}
-	}
-	return c.auth.SetA("www", c.DNSTTL, c.technique.SteerAddr(c, best))
 }
 
 // CatchmentOf returns the site currently attracting traffic from the

@@ -157,7 +157,7 @@ func TestUnicastFailureBlackholesUntilDNS(t *testing.T) {
 	client := w.someClient(t)
 	failed := w.cdn.Sites()[0]
 
-	if err := w.cdn.FailSite(failed.Code); err != nil {
+	if _, err := w.cdn.FailSite(failed.Code); err != nil {
 		t.Fatal(err)
 	}
 	w.converge()
@@ -182,23 +182,23 @@ func TestUnicastFailureBlackholesUntilDNS(t *testing.T) {
 
 func TestFailSiteErrors(t *testing.T) {
 	w := newWorld(t, 1)
-	if err := w.cdn.FailSite("ams"); err == nil {
+	if _, err := w.cdn.FailSite("ams"); err == nil {
 		t.Fatal("FailSite before Deploy accepted")
 	}
 	w.cdn.Deploy(Unicast{})
-	if err := w.cdn.FailSite("zzz"); err == nil {
+	if _, err := w.cdn.FailSite("zzz"); err == nil {
 		t.Fatal("unknown site accepted")
 	}
-	if err := w.cdn.FailSite("ams"); err != nil {
+	if _, err := w.cdn.FailSite("ams"); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.cdn.FailSite("ams"); err == nil {
+	if _, err := w.cdn.FailSite("ams"); err == nil {
 		t.Fatal("double failure accepted")
 	}
-	if err := w.cdn.RecoverSite("bos"); err == nil {
+	if _, err := w.cdn.RecoverSite("bos"); err == nil {
 		t.Fatal("recovering healthy site accepted")
 	}
-	if err := w.cdn.RecoverSite("zzz"); err == nil {
+	if _, err := w.cdn.RecoverSite("zzz"); err == nil {
 		t.Fatal("recovering unknown site accepted")
 	}
 }
@@ -330,7 +330,7 @@ func TestRecoverSiteRestoresSteering(t *testing.T) {
 		site := w.cdn.Sites()[0]
 		w.cdn.FailSite(site.Code)
 		w.converge()
-		if err := w.cdn.RecoverSite(site.Code); err != nil {
+		if _, err := w.cdn.RecoverSite(site.Code); err != nil {
 			t.Fatalf("%s: recover: %v", tech.Name(), err)
 		}
 		w.converge()

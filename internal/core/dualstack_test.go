@@ -65,7 +65,7 @@ func TestDualStackReactiveFailoverOnV6(t *testing.T) {
 	if !ok || before != failed.Node {
 		t.Fatalf("v6 steering broken before failure: %v, %v", before, ok)
 	}
-	if err := w.cdn.FailSite("atl"); err != nil {
+	if _, err := w.cdn.FailSite("atl"); err != nil {
 		t.Fatal(err)
 	}
 	w.converge()
@@ -77,7 +77,7 @@ func TestDualStackReactiveFailoverOnV6(t *testing.T) {
 		t.Fatal("v6 traffic still reaches the failed site")
 	}
 	// Recovery restores the v6 steering too.
-	if err := w.cdn.RecoverSite("atl"); err != nil {
+	if _, err := w.cdn.RecoverSite("atl"); err != nil {
 		t.Fatal(err)
 	}
 	w.converge()

@@ -15,7 +15,7 @@ func TestConcurrentMultiSiteFailure(t *testing.T) {
 	client := w.someClient(t)
 
 	for _, code := range []string{"ams", "atl", "slc"} {
-		if err := w.cdn.FailSite(code); err != nil {
+		if _, err := w.cdn.FailSite(code); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -44,7 +44,7 @@ func TestFailureDuringConvergence(t *testing.T) {
 	}
 	// Only 2 seconds in: announcements are still propagating.
 	w.sim.RunFor(2)
-	if err := w.cdn.FailSite("bos"); err != nil {
+	if _, err := w.cdn.FailSite("bos"); err != nil {
 		t.Fatal(err)
 	}
 	w.converge()
@@ -74,11 +74,11 @@ func TestRollingFailureAndRecovery(t *testing.T) {
 	w.converge()
 	client := w.someClient(t)
 	for _, s := range w.cdn.Sites() {
-		if err := w.cdn.FailSite(s.Code); err != nil {
+		if _, err := w.cdn.FailSite(s.Code); err != nil {
 			t.Fatalf("fail %s: %v", s.Code, err)
 		}
 		w.converge()
-		if err := w.cdn.RecoverSite(s.Code); err != nil {
+		if _, err := w.cdn.RecoverSite(s.Code); err != nil {
 			t.Fatalf("recover %s: %v", s.Code, err)
 		}
 		w.converge()
@@ -103,7 +103,7 @@ func TestAllButOneSiteFails(t *testing.T) {
 	w.converge()
 	sites := w.cdn.Sites()
 	for _, s := range sites[:len(sites)-1] {
-		if err := w.cdn.FailSite(s.Code); err != nil {
+		if _, err := w.cdn.FailSite(s.Code); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -138,7 +138,7 @@ func TestDNSFallbackWhenAllSitesFail(t *testing.T) {
 	}
 	w.converge()
 	for _, s := range w.cdn.Sites() {
-		if err := w.cdn.FailSite(s.Code); err != nil {
+		if _, err := w.cdn.FailSite(s.Code); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"bestofboth/internal/obs"
+)
+
+// TestTransitionSentinelErrors pins the unified lifecycle entry point's
+// validation: every failure mode is a typed sentinel reachable through
+// errors.Is, in the documented precedence (unknown site → not deployed →
+// failed-state).
+func TestTransitionSentinelErrors(t *testing.T) {
+	w := newWorld(t, 61)
+
+	// Before any deployment: unknown site outranks not-deployed.
+	if _, err := w.cdn.FailSite("zzz"); !errors.Is(err, ErrUnknownSite) {
+		t.Fatalf("unknown site: got %v, want ErrUnknownSite", err)
+	}
+	if _, err := w.cdn.FailSite("atl"); !errors.Is(err, ErrNotDeployed) {
+		t.Fatalf("no technique: got %v, want ErrNotDeployed", err)
+	}
+	if _, err := w.cdn.RecoverSite("atl"); !errors.Is(err, ErrNotDeployed) {
+		t.Fatalf("recover without technique: got %v, want ErrNotDeployed", err)
+	}
+
+	if err := w.cdn.Deploy(ReactiveAnycast{}); err != nil {
+		t.Fatal(err)
+	}
+	w.converge()
+
+	if _, err := w.cdn.RecoverSite("atl"); !errors.Is(err, ErrSiteNotFailed) {
+		t.Fatalf("recover healthy site: got %v, want ErrSiteNotFailed", err)
+	}
+	if _, err := w.cdn.DrainSite("atl"); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []func(string) (SiteTransition, error){
+		w.cdn.CrashSite, w.cdn.FailSite, w.cdn.DrainSite,
+	} {
+		if _, err := f("atl"); !errors.Is(err, ErrSiteFailed) {
+			t.Fatalf("re-fail failed site: got %v, want ErrSiteFailed", err)
+		}
+	}
+	if _, err := w.cdn.RecoverSite("atl"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransitionReturnsTypedResult pins the SiteTransition value every
+// lifecycle wrapper returns.
+func TestTransitionReturnsTypedResult(t *testing.T) {
+	w := newWorld(t, 62)
+	if err := w.cdn.Deploy(ReactiveAnycast{}); err != nil {
+		t.Fatal(err)
+	}
+	w.converge()
+	w.sim.RunUntil(w.sim.Now() + 100)
+
+	site := w.cdn.Sites()[0]
+	tr, err := w.cdn.DrainSite(site.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Site != site.Code || tr.Node != site.Node || tr.Kind != TransitionDrain || tr.At != w.sim.Now() {
+		t.Fatalf("drain transition = %+v", tr)
+	}
+	if tr.Kind.String() != "drain" {
+		t.Fatalf("Kind.String() = %q", tr.Kind.String())
+	}
+	rec, err := w.cdn.RecoverSite(site.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != TransitionRecover || rec.Site != site.Code {
+		t.Fatalf("recover transition = %+v", rec)
+	}
+
+	kinds := map[TransitionKind]string{
+		TransitionCrash: "crash", TransitionFail: "fail",
+		TransitionDrain: "drain", TransitionRecover: "recover",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Fatalf("TransitionKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+// TestTransitionMetrics checks the controller's transition counters.
+func TestTransitionMetrics(t *testing.T) {
+	w := newWorld(t, 63)
+	reg := obs.NewRegistry()
+	w.cdn.Instrument(reg)
+	if err := w.cdn.Deploy(ReactiveAnycast{}); err != nil {
+		t.Fatal(err)
+	}
+	w.converge()
+
+	site := w.cdn.Sites()[0].Code
+	if _, err := w.cdn.FailSite(site); err != nil {
+		t.Fatal(err)
+	}
+	w.converge()
+	if _, err := w.cdn.RecoverSite(site); err != nil {
+		t.Fatal(err)
+	}
+	// Failed validation must not count as a transition.
+	if _, err := w.cdn.FailSite("zzz"); err == nil {
+		t.Fatal("expected error")
+	}
+
+	if got := reg.Counter("cdn_site_transitions_total").Value(); got != 2 {
+		t.Fatalf("cdn_site_transitions_total = %d, want 2", got)
+	}
+	if got := reg.Counter("cdn_site_transitions_fail_total").Value(); got != 1 {
+		t.Fatalf("cdn_site_transitions_fail_total = %d, want 1", got)
+	}
+	if got := reg.Counter("cdn_site_transitions_recover_total").Value(); got != 1 {
+		t.Fatalf("cdn_site_transitions_recover_total = %d, want 1", got)
+	}
+	if got := reg.Counter("cdn_failure_reactions_total").Value(); got != 1 {
+		t.Fatalf("cdn_failure_reactions_total = %d, want 1", got)
+	}
+}

@@ -108,7 +108,7 @@ func TestLoadBalancerRebalanceAfterFailure(t *testing.T) {
 	if lb.Load(victim.Code) == 0 {
 		t.Skip("no site attracted load")
 	}
-	if err := w.cdn.FailSite(victim.Code); err != nil {
+	if _, err := w.cdn.FailSite(victim.Code); err != nil {
 		t.Fatal(err)
 	}
 	w.converge()

@@ -56,7 +56,7 @@ func TestProactiveMEDFailover(t *testing.T) {
 	w.converge()
 	client := w.someClient(t)
 	failed := w.cdn.Site("atl")
-	if err := w.cdn.FailSite("atl"); err != nil {
+	if _, err := w.cdn.FailSite("atl"); err != nil {
 		t.Fatal(err)
 	}
 	w.converge()
@@ -97,7 +97,7 @@ func TestProactiveMEDRecovery(t *testing.T) {
 	client := w.someClient(t)
 	w.cdn.FailSite("msn")
 	w.converge()
-	if err := w.cdn.RecoverSite("msn"); err != nil {
+	if _, err := w.cdn.RecoverSite("msn"); err != nil {
 		t.Fatal(err)
 	}
 	w.converge()

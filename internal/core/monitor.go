@@ -104,9 +104,7 @@ func (m *Monitor) probeAll() {
 			// The site may have crashed without the controller knowing
 			// (CrashSite); mark it failed so the reaction can run.
 			if !m.cdn.failed[s.Code] {
-				m.cdn.failed[s.Code] = true
-				delete(m.cdn.reacted, s.Code)
-				m.cdn.withdrawAll(s.Node)
+				m.cdn.markFailed(s)
 			}
 			m.cdn.ReactToFailure(s.Code)
 			if m.OnDetect != nil {

@@ -30,7 +30,7 @@ func TestMonitorDetectsCrash(t *testing.T) {
 	}
 
 	crashAt := w.sim.Now()
-	if err := w.cdn.CrashSite("atl"); err != nil {
+	if _, err := w.cdn.CrashSite("atl"); err != nil {
 		t.Fatal(err)
 	}
 	w.sim.RunFor(30)

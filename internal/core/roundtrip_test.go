@@ -45,11 +45,11 @@ func TestCrashRecoverRoundTrip(t *testing.T) {
 				t.Fatal(err)
 			}
 			sub.converge()
-			if err := sub.cdn.FailSite(failCode); err != nil {
+			if _, err := sub.cdn.FailSite(failCode); err != nil {
 				t.Fatal(err)
 			}
 			sub.converge() // withdrawal, detection, reaction all drain
-			if err := sub.cdn.RecoverSite(failCode); err != nil {
+			if _, err := sub.cdn.RecoverSite(failCode); err != nil {
 				t.Fatal(err)
 			}
 			sub.converge()
@@ -93,7 +93,7 @@ func TestDrainSite(t *testing.T) {
 	before := w.net.RouteStateDigest()
 
 	s := w.cdn.Site("atl")
-	if err := w.cdn.DrainSite("atl"); err != nil {
+	if _, err := w.cdn.DrainSite("atl"); err != nil {
 		t.Fatal(err)
 	}
 	// Draining is graceful: the site still forwards while routes move.
@@ -111,7 +111,7 @@ func TestDrainSite(t *testing.T) {
 		}
 	}
 	w.converge()
-	if err := w.cdn.RecoverSite("atl"); err != nil {
+	if _, err := w.cdn.RecoverSite("atl"); err != nil {
 		t.Fatal(err)
 	}
 	w.converge()
@@ -122,20 +122,20 @@ func TestDrainSite(t *testing.T) {
 
 func TestDrainSiteErrors(t *testing.T) {
 	w := newWorld(t, 11)
-	if err := w.cdn.DrainSite("atl"); err == nil {
+	if _, err := w.cdn.DrainSite("atl"); err == nil {
 		t.Fatal("drain before deploy should fail")
 	}
 	if err := w.cdn.Deploy(Unicast{}); err != nil {
 		t.Fatal(err)
 	}
 	w.converge()
-	if err := w.cdn.DrainSite("nope"); err == nil {
+	if _, err := w.cdn.DrainSite("nope"); err == nil {
 		t.Fatal("drain of unknown site should fail")
 	}
-	if err := w.cdn.DrainSite("atl"); err != nil {
+	if _, err := w.cdn.DrainSite("atl"); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.cdn.DrainSite("atl"); err == nil {
+	if _, err := w.cdn.DrainSite("atl"); err == nil {
 		t.Fatal("double drain should fail")
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"bestofboth/internal/bgp"
 	"bestofboth/internal/iptrie"
 	"bestofboth/internal/netsim"
+	"bestofboth/internal/obs"
 	"bestofboth/internal/topology"
 )
 
@@ -92,6 +93,15 @@ type Plane struct {
 
 	// static shortest-path delay cache per source node (seconds).
 	staticDelay map[topology.NodeID][]float64
+
+	// Metrics are nil until Instrument attaches a registry (nil-safe).
+	m struct {
+		lookups   *obs.Counter
+		updates   *obs.Counter
+		forwards  *obs.Counter
+		delivered *obs.Counter
+		dropped   *obs.Counter
+	}
 }
 
 // New builds the data plane and subscribes to FIB updates.
@@ -112,7 +122,20 @@ func New(net *bgp.Network) *Plane {
 	return p
 }
 
+// Instrument attaches forwarding metrics to r: FIB rebuild operations
+// (best-route changes applied), per-hop FIB lookups, and forwarding walks
+// split by outcome. Pure counting; never perturbs forwarding. A nil
+// registry detaches.
+func (p *Plane) Instrument(r *obs.Registry) {
+	p.m.lookups = r.Counter("dataplane_fib_lookups_total")
+	p.m.updates = r.Counter("dataplane_fib_updates_total")
+	p.m.forwards = r.Counter("dataplane_forwards_total")
+	p.m.delivered = r.Counter("dataplane_forwards_delivered_total")
+	p.m.dropped = r.Counter("dataplane_forwards_dropped_total")
+}
+
 func (p *Plane) onBestChange(node topology.NodeID, prefix netip.Prefix, route *bgp.Route) {
+	p.m.updates.Inc()
 	fib := p.fibs[node]
 	if route == nil {
 		fib.Delete(prefix)
@@ -140,28 +163,34 @@ func (p *Plane) IsDown(node topology.NodeID) bool { return p.down[node] }
 
 // Forward walks a packet from src toward dst through the current FIBs.
 func (p *Plane) Forward(src topology.NodeID, dst netip.Addr) ForwardResult {
+	p.m.forwards.Inc()
 	res := ForwardResult{Path: make([]topology.NodeID, 0, 8)}
 	cur := src
 	for hops := 0; hops <= MaxHops; hops++ {
 		res.Path = append(res.Path, cur)
 		if p.down[cur] {
 			res.Reason = DropNodeDown
+			p.m.dropped.Inc()
 			return res
 		}
+		p.m.lookups.Inc()
 		_, entry, ok := p.fibs[cur].Lookup(dst)
 		if !ok {
 			res.Reason = DropNoRoute
+			p.m.dropped.Inc()
 			return res
 		}
 		if entry.local {
 			res.Delivered = true
 			res.Dest = cur
+			p.m.delivered.Inc()
 			return res
 		}
 		res.Delay += entry.delay
 		cur = entry.next
 	}
 	res.Reason = DropLoop
+	p.m.dropped.Inc()
 	return res
 }
 

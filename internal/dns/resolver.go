@@ -6,6 +6,8 @@ import (
 	"math"
 	"math/rand"
 	"net/netip"
+
+	"bestofboth/internal/obs"
 )
 
 // Resolver is a caching recursive resolver. It answers from cache while the
@@ -20,6 +22,10 @@ type Resolver struct {
 	nextID uint16
 	// UpstreamQueries counts cache misses that reached the authoritative.
 	UpstreamQueries uint64
+
+	// Metrics are nil until Instrument attaches a registry (nil-safe).
+	mUpstream *obs.Counter
+	mExpired  *obs.Counter
 }
 
 type cacheEntry struct {
@@ -38,6 +44,14 @@ func NewResolver(auth *Authoritative) *Resolver {
 // ErrNoSuchName is returned for NXDOMAIN and empty answers.
 var ErrNoSuchName = errors.New("dns: no such name")
 
+// Instrument attaches resolver metrics to r: upstream queries (cache
+// misses that reached the authoritative) and cache-entry expirations — the
+// TTL expiries that gate unicast failover. A nil registry detaches.
+func (r *Resolver) Instrument(reg *obs.Registry) {
+	r.mUpstream = reg.Counter("dns_resolver_upstream_queries_total")
+	r.mExpired = reg.Counter("dns_resolver_cache_expirations_total")
+}
+
 // Resolve returns the A records for name at virtual time now, consulting
 // the cache first. The returned remaining TTL is how long the caller may
 // cache the answer. Negative answers are cached per RFC 2308 using the
@@ -53,9 +67,11 @@ func (r *Resolver) Resolve(now float64, name string) ([]netip.Addr, float64, err
 			return e.addrs, expire - now, nil
 		}
 		delete(r.cache, fq)
+		r.mExpired.Inc()
 	}
 	r.nextID++
 	r.UpstreamQueries++
+	r.mUpstream.Inc()
 	query := &Message{
 		Header:   Header{ID: r.nextID, RecursionDesired: true},
 		Question: []Question{{Name: fq, Type: TypeA}},
@@ -151,6 +167,7 @@ func (r *Resolver) ResolveFor(now float64, name string, client netip.Addr) ([]ne
 	for i := range entries {
 		e := entries[i]
 		if now >= e.fetchedAt+float64(e.ttl) {
+			r.mExpired.Inc()
 			continue // expired
 		}
 		live = append(live, e)
@@ -166,6 +183,7 @@ func (r *Resolver) ResolveFor(now float64, name string, client netip.Addr) ([]ne
 	subnet := netip.PrefixFrom(client, 24).Masked()
 	r.nextID++
 	r.UpstreamQueries++
+	r.mUpstream.Inc()
 	query := &Message{
 		Header:   Header{ID: r.nextID, RecursionDesired: true},
 		Question: []Question{{Name: fq, Type: TypeA}},

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"bestofboth/internal/obs"
 )
 
 // Authoritative is the CDN's authoritative DNS server. The CDN controller
@@ -28,6 +30,11 @@ type Authoritative struct {
 	QueryCount uint64
 	// ECSAnswered counts queries answered via the client-subnet mapper.
 	ECSAnswered uint64
+
+	// Metrics are nil until Instrument attaches a registry (nil-safe).
+	mQueries     *obs.Counter
+	mECS         *obs.Counter
+	mZoneUpdates *obs.Counter
 }
 
 // MapFunc computes a per-client answer for an A query ("end-user mapping").
@@ -65,6 +72,17 @@ func NewAuthoritative(origin string) *Authoritative {
 // Origin returns the zone origin.
 func (s *Authoritative) Origin() string { return s.origin }
 
+// Instrument attaches DNS metrics to r: queries answered, ECS-mapped
+// answers, and zone updates (every record change — the controller's
+// failover "repoints" land here). A nil registry detaches.
+func (s *Authoritative) Instrument(r *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mQueries = r.Counter("dns_queries_total")
+	s.mECS = r.Counter("dns_ecs_answered_total")
+	s.mZoneUpdates = r.Counter("dns_zone_updates_total")
+}
+
 // SetMapper installs the per-client answer function used for queries that
 // carry an EDNS Client Subnet option.
 func (s *Authoritative) SetMapper(m MapFunc) {
@@ -97,6 +115,7 @@ func (s *Authoritative) SetA(name string, ttl uint32, addrs ...netip.Addr) error
 	s.a[fq] = aSet{addrs: append([]netip.Addr(nil), addrs...), ttl: ttl}
 	s.serial++
 	s.soa.Serial = s.serial
+	s.mZoneUpdates.Inc()
 	return nil
 }
 
@@ -116,6 +135,7 @@ func (s *Authoritative) SetAAAA(name string, ttl uint32, addrs ...netip.Addr) er
 	s.aaaa[fq] = aSet{addrs: append([]netip.Addr(nil), addrs...), ttl: ttl}
 	s.serial++
 	s.soa.Serial = s.serial
+	s.mZoneUpdates.Inc()
 	return nil
 }
 
@@ -128,6 +148,7 @@ func (s *Authoritative) RemoveAAAA(name string) {
 		delete(s.aaaa, fq)
 		s.serial++
 		s.soa.Serial = s.serial
+		s.mZoneUpdates.Inc()
 	}
 }
 
@@ -140,6 +161,7 @@ func (s *Authoritative) RemoveA(name string) {
 		delete(s.a, fq)
 		s.serial++
 		s.soa.Serial = s.serial
+		s.mZoneUpdates.Inc()
 	}
 }
 
@@ -179,9 +201,11 @@ func (s *Authoritative) HandleQuery(query []byte) ([]byte, error) {
 func (s *Authoritative) Answer(q *Message) *Message {
 	s.mu.Lock()
 	s.QueryCount++
+	s.mQueries.Inc()
 	isECS := s.mapper != nil && q.Edns != nil && q.Edns.ECS != nil
 	if isECS && len(q.Question) == 1 && q.Question[0].Type == TypeA {
 		s.ECSAnswered++
+		s.mECS.Inc()
 	}
 	s.mu.Unlock()
 

@@ -1,0 +1,8 @@
+package experiment
+
+import "errors"
+
+// ErrNoTargets reports a failover run whose target selection carries no
+// entry for the failed site. Wrapped with %w at call sites; test with
+// errors.Is.
+var ErrNoTargets = errors.New("no target selection")

@@ -149,11 +149,11 @@ func newDeployedWorld(cfg WorldConfig, tech core.Technique, convergeTime float64
 func failoverOn(w *World, sel *Selection, tech core.Technique, failCode string, fc FailoverConfig) (*RunResult, error) {
 	failed := w.CDN.Site(failCode)
 	if failed == nil {
-		return nil, fmt.Errorf("experiment: unknown site %q", failCode)
+		return nil, fmt.Errorf("experiment: %w %q", core.ErrUnknownSite, failCode)
 	}
 	st := sel.ForSite(failCode)
 	if st == nil {
-		return nil, fmt.Errorf("experiment: no target selection for site %q", failCode)
+		return nil, fmt.Errorf("experiment: %w for site %q", ErrNoTargets, failCode)
 	}
 
 	// Controllable targets (§5.2): targets the technique routes to the
@@ -217,10 +217,10 @@ func failoverOn(w *World, sel *Selection, tech core.Technique, failCode string, 
 		m.OnDetect = func(code string, at float64) {
 			res.DetectedAt = at - t0
 		}
-		if err := w.CDN.CrashSite(failCode); err != nil {
+		if _, err := w.CDN.CrashSite(failCode); err != nil {
 			return nil, err
 		}
-	} else if err := w.CDN.FailSite(failCode); err != nil {
+	} else if _, err := w.CDN.FailSite(failCode); err != nil {
 		return nil, err
 	}
 	for _, id := range controllable {

@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"bestofboth/internal/obs"
+)
+
+// Digest is a stable hex fingerprint of the simulation-identity fields of
+// the configuration: two configs digest equally exactly when they build
+// bit-identical worlds. Workers and Obs take no part (they never affect
+// results), mirroring snapKey.
+func (c WorldConfig) Digest() string {
+	cfg := c
+	cfg.fillDefaults()
+	damp := "<nil>"
+	if cfg.BGP.Damping != nil {
+		damp = fmt.Sprintf("%+v", *cfg.BGP.Damping)
+	}
+	flat := cfg.BGP
+	flat.Damping = nil
+	canon := fmt.Sprintf("seed=%d topo=%+v bgp=%+v damp=%s cdn=%+v peers=%d",
+		cfg.Seed, cfg.Topology, flat, damp, cfg.CDN, cfg.CollectorPeers)
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:])
+}
+
+// Manifest records how one experiment invocation ran: enough to reproduce
+// it (seed, config digest, command) and enough to sanity-check it (the
+// final metric snapshot). It is written next to JSON experiment output as
+// <output>.manifest.json.
+type Manifest struct {
+	// Command is the cdnsim subcommand (or other caller-chosen label).
+	Command string `json:"command"`
+	// Seed is the simulation seed shared by every run of the invocation.
+	Seed int64 `json:"seed"`
+	// ConfigDigest fingerprints the world configuration; equal digests +
+	// equal seeds ⇒ bit-identical simulations.
+	ConfigDigest string `json:"configDigest"`
+	// Workers is the concurrency bound the invocation ran under. It never
+	// affects results; recorded for performance forensics only.
+	Workers int `json:"workers"`
+	// Metrics is the registry snapshot at write time (volatile metrics
+	// included — the manifest describes this invocation, not the abstract
+	// simulation).
+	Metrics []obs.MetricSnapshot `json:"metrics,omitempty"`
+}
+
+// NewManifest assembles a manifest for one invocation. reg may be nil.
+func NewManifest(command string, cfg WorldConfig, workers int, reg *obs.Registry) Manifest {
+	return Manifest{
+		Command:      command,
+		Seed:         cfg.Seed,
+		ConfigDigest: cfg.Digest(),
+		Workers:      workers,
+		Metrics:      reg.Snapshot(),
+	}
+}
+
+// WriteFile writes the manifest as indented JSON.
+func (m Manifest) WriteFile(path string) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiment: encoding manifest: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ManifestPath derives the manifest location from a JSON output path:
+// results.json → results.manifest.json.
+func ManifestPath(jsonOut string) string {
+	const suffix = ".json"
+	if len(jsonOut) > len(suffix) && jsonOut[len(jsonOut)-len(suffix):] == suffix {
+		return jsonOut[:len(jsonOut)-len(suffix)] + ".manifest.json"
+	}
+	return jsonOut + ".manifest.json"
+}

@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"bestofboth/internal/bgp"
+	"bestofboth/internal/obs"
+	"bestofboth/internal/topology"
+)
+
+// Option mutates a WorldConfig under construction; see DefaultWorldConfig.
+type Option func(*WorldConfig)
+
+// DefaultWorldConfig builds the evaluation's baseline configuration — seed
+// 42, generator-default topology (~900 ASes), bgp.DefaultConfig timing —
+// with any options applied on top. It replaces hand-assembled WorldConfig
+// literals in cmd/cdnsim and tests:
+//
+//	cfg := experiment.DefaultWorldConfig(
+//		experiment.WithSeed(7),
+//		experiment.WithWorkers(4),
+//	)
+func DefaultWorldConfig(opts ...Option) WorldConfig {
+	cfg := WorldConfig{Seed: 42}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithSeed sets the simulation seed (identical seeds reproduce runs
+// bit-for-bit).
+func WithSeed(seed int64) Option {
+	return func(c *WorldConfig) { c.Seed = seed }
+}
+
+// WithWorkers bounds concurrent runs in Runner instances built from the
+// config (WorldConfig.Runner); <= 0 means GOMAXPROCS. Results are identical
+// at any worker count.
+func WithWorkers(n int) Option {
+	return func(c *WorldConfig) { c.Workers = n }
+}
+
+// WithDamping enables route-flap damping (RFC 2439) with bgp.DefaultDamping
+// parameters, filling the rest of the BGP config with defaults first so the
+// override survives fillDefaults.
+func WithDamping() Option {
+	return func(c *WorldConfig) {
+		if c.BGP == (bgp.Config{}) {
+			c.BGP = bgp.DefaultConfig()
+		}
+		c.BGP.Damping = bgp.DefaultDamping()
+	}
+}
+
+// WithObs attaches an observability registry: every world built from the
+// config instruments all layers into r, and Runner instances built via
+// WorldConfig.Runner record runner metrics there too.
+func WithObs(r *obs.Registry) Option {
+	return func(c *WorldConfig) { c.Obs = r }
+}
+
+// WithTopology replaces the topology generator configuration wholesale
+// (the config's Seed still wins over the one inside).
+func WithTopology(gc topology.GenConfig) Option {
+	return func(c *WorldConfig) { c.Topology = gc }
+}
+
+// WithScale scales the default topology's per-class AS counts by f
+// (1.0 ≈ 900 ASes), with floors keeping tiny scales connected. f <= 0 or
+// f == 1 leaves the generator defaults untouched.
+func WithScale(f float64) Option {
+	return func(c *WorldConfig) {
+		if f <= 0 || f == 1.0 {
+			return
+		}
+		c.Topology = topology.GenConfig{
+			NumTransit:    maxInt(20, int(60*f)),
+			NumRegional:   maxInt(8, int(40*f)),
+			NumEyeball:    maxInt(20, int(150*f)),
+			NumStub:       maxInt(40, int(600*f)),
+			NumUniversity: maxInt(8, int(36*f)),
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

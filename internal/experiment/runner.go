@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"bestofboth/internal/core"
+	"bestofboth/internal/obs"
 	"bestofboth/internal/stats"
 )
 
@@ -30,6 +33,19 @@ type Runner struct {
 	// DisableReuse turns off converged-world snapshot reuse: every run
 	// deploys and converges its own world from scratch.
 	DisableReuse bool
+	// Obs, when non-nil, instruments every world the Runner materializes and
+	// records runner-side metrics (run timings, snapshot cache traffic,
+	// worker utilization). Runner metrics are wall-clock and cache-history
+	// dependent, so they register as volatile: excluded from
+	// obs.Registry.DeterministicSnapshot.
+	Obs *obs.Registry
+	// Progress, when non-nil, is invoked after each completed run of a
+	// matrix with the number of finished runs and the matrix total. Calls
+	// are serialized; done reaches total when the matrix finishes without
+	// error.
+	Progress func(done, total int)
+
+	busy atomic.Int64 // runs currently holding a worker slot
 }
 
 func (r *Runner) workers() int {
@@ -37,6 +53,37 @@ func (r *Runner) workers() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return r.Workers
+}
+
+// runnerMetrics bundles the Runner's volatile instruments. All methods are
+// nil-safe: a Runner without a registry resolves every metric to nil and the
+// recording calls no-op.
+type runnerMetrics struct {
+	runs       *obs.Counter
+	runSeconds *obs.Histogram
+	snapBuilds *obs.Counter
+	snapHits   *obs.Counter
+	restores   *obs.Counter
+	buildSecs  *obs.Histogram
+	matSecs    *obs.Histogram
+	busyMax    *obs.Gauge
+}
+
+func (r *Runner) metrics() runnerMetrics {
+	var reg *obs.Registry
+	if r != nil {
+		reg = r.Obs
+	}
+	return runnerMetrics{
+		runs:       reg.VolatileCounter("experiment_runs_total"),
+		runSeconds: reg.VolatileHistogram("experiment_run_seconds", obs.DefaultDurationBuckets...),
+		snapBuilds: reg.VolatileCounter("experiment_snapshot_builds_total"),
+		snapHits:   reg.VolatileCounter("experiment_snapshot_cache_hits_total"),
+		restores:   reg.VolatileCounter("experiment_snapshot_restores_total"),
+		buildSecs:  reg.VolatileHistogram("experiment_snapshot_build_seconds", obs.DefaultDurationBuckets...),
+		matSecs:    reg.VolatileHistogram("experiment_materialize_seconds", obs.DefaultDurationBuckets...),
+		busyMax:    reg.VolatileGauge("experiment_workers_busy_max"),
+	}
 }
 
 // worldSnaps caches converged-world snapshots per ⟨world configuration,
@@ -100,30 +147,48 @@ func (r *Runner) convergedSnapshot(cfg WorldConfig, tech core.Technique, converg
 	if r != nil && r.DisableReuse {
 		return nil, nil
 	}
+	m := r.metrics()
 	key := snapKey(cfg, tech, convergeTime)
 	worldSnaps.Lock()
 	e, ok := worldSnaps.m[key]
 	if !ok {
 		if len(worldSnaps.m) >= worldSnapCap {
 			worldSnaps.Unlock()
+			m.snapBuilds.Inc()
+			defer obs.StartTimer(m.buildSecs).Stop()
 			return buildSnapshot(cfg, tech, convergeTime)
 		}
 		e = &worldSnapEntry{}
 		worldSnaps.m[key] = e
 	}
 	worldSnaps.Unlock()
+	if ok {
+		m.snapHits.Inc()
+	}
 	e.once.Do(func() {
+		m.snapBuilds.Inc()
+		t := obs.StartTimer(m.buildSecs)
 		e.snap, e.err = buildSnapshot(cfg, tech, convergeTime)
+		t.Stop()
 	})
 	return e.snap, e.err
 }
 
 // materialize produces a deployed, converged world ready for one failover
 // run: restored from the snapshot when one exists, built from scratch
-// otherwise.
-func materialize(cfg WorldConfig, tech core.Technique, convergeTime float64, snap *WorldSnapshot) (*World, error) {
+// otherwise. Restored worlds are re-instrumented with the caller's registry
+// (snapshots strip theirs).
+func (r *Runner) materialize(cfg WorldConfig, tech core.Technique, convergeTime float64, snap *WorldSnapshot) (*World, error) {
+	m := r.metrics()
+	defer obs.StartTimer(m.matSecs).Stop()
 	if snap != nil {
-		return RestoreWorld(snap)
+		m.restores.Inc()
+		w, err := RestoreWorld(snap)
+		if err != nil {
+			return nil, err
+		}
+		w.Instrument(cfg.Obs)
+		return w, nil
 	}
 	return newDeployedWorld(cfg, tech, convergeTime)
 }
@@ -134,10 +199,16 @@ func materialize(cfg WorldConfig, tech core.Technique, convergeTime float64, sna
 // independent deterministic simulation, so the results are identical for
 // any worker count.
 func (r *Runner) RunMatrix(cfg WorldConfig, sel *Selection, techs []core.Technique, sites []string, fc FailoverConfig) ([][]*RunResult, error) {
+	if r != nil && r.Obs != nil {
+		cfg.Obs = r.Obs
+	}
+	m := r.metrics()
 	results := make([][]*RunResult, len(techs))
 	for i := range results {
 		results[i] = make([]*RunResult, len(sites))
 	}
+	total := len(techs) * len(sites)
+	done := 0
 	sem := make(chan struct{}, r.workers())
 	var mu sync.Mutex
 	var firstErr error
@@ -148,6 +219,18 @@ func (r *Runner) RunMatrix(cfg WorldConfig, sel *Selection, techs []core.Techniq
 		}
 		mu.Unlock()
 	}
+	acquire := func() {
+		sem <- struct{}{}
+		if r != nil {
+			m.busyMax.SetMax(float64(r.busy.Add(1)))
+		}
+	}
+	release := func() {
+		if r != nil {
+			r.busy.Add(-1)
+		}
+		<-sem
+	}
 	var wg sync.WaitGroup
 	for ti := range techs {
 		wg.Add(1)
@@ -155,9 +238,9 @@ func (r *Runner) RunMatrix(cfg WorldConfig, sel *Selection, techs []core.Techniq
 			defer wg.Done()
 			// Build (or fetch) the technique's converged template under a
 			// worker slot, then fan the per-site runs out across slots.
-			sem <- struct{}{}
+			acquire()
 			snap, err := r.convergedSnapshot(cfg, tech, fc.ConvergeTime)
-			<-sem
+			release()
 			if err != nil {
 				fail(err)
 				return
@@ -167,9 +250,10 @@ func (r *Runner) RunMatrix(cfg WorldConfig, sel *Selection, techs []core.Techniq
 				swg.Add(1)
 				go func(si int, site string) {
 					defer swg.Done()
-					sem <- struct{}{}
-					defer func() { <-sem }()
-					w, err := materialize(cfg, tech, fc.ConvergeTime, snap)
+					acquire()
+					defer release()
+					start := time.Now()
+					w, err := r.materialize(cfg, tech, fc.ConvergeTime, snap)
 					if err != nil {
 						fail(err)
 						return
@@ -179,8 +263,14 @@ func (r *Runner) RunMatrix(cfg WorldConfig, sel *Selection, techs []core.Techniq
 						fail(err)
 						return
 					}
+					m.runs.Inc()
+					m.runSeconds.Observe(time.Since(start).Seconds())
 					mu.Lock()
 					results[ti][si] = res
+					done++
+					if r != nil && r.Progress != nil {
+						r.Progress(done, total)
+					}
 					mu.Unlock()
 				}(si, sites[si])
 			}

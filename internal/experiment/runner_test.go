@@ -78,7 +78,7 @@ func TestWorldSnapshotIsolation(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := a.CDN.FailSite("atl"); err != nil {
+	if _, err := a.CDN.FailSite("atl"); err != nil {
 		t.Fatal(err)
 	}
 	a.Sim.RunFor(120)

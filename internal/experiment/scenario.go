@@ -3,7 +3,6 @@ package experiment
 import (
 	"sync"
 
-	"bestofboth/internal/bgp"
 	"bestofboth/internal/core"
 	"bestofboth/internal/scenario"
 	"bestofboth/internal/topology"
@@ -40,8 +39,7 @@ func (c *ScenarioConfig) fill() {
 // enabled when the scenario requests it.
 func ScenarioWorldConfig(cfg WorldConfig, sc *scenario.Scenario) WorldConfig {
 	if sc.Damping {
-		cfg.fillDefaults()
-		cfg.BGP.Damping = bgp.DefaultDamping()
+		WithDamping()(&cfg)
 	}
 	return cfg
 }
@@ -96,12 +94,15 @@ func scenarioGroups(w *World, sel *Selection, maxPerSite int) []scenario.Group {
 // bit-identical regardless of snapshot reuse or concurrency.
 func (r *Runner) RunScenario(cfg WorldConfig, sel *Selection, tech core.Technique, sc *scenario.Scenario, sco ScenarioConfig) (*scenario.Result, error) {
 	sco.fill()
+	if r != nil && r.Obs != nil {
+		cfg.Obs = r.Obs
+	}
 	eff := ScenarioWorldConfig(cfg, sc)
 	snap, err := r.convergedSnapshot(eff, tech, sco.ConvergeTime)
 	if err != nil {
 		return nil, err
 	}
-	w, err := materialize(eff, tech, sco.ConvergeTime, snap)
+	w, err := r.materialize(eff, tech, sco.ConvergeTime, snap)
 	if err != nil {
 		return nil, err
 	}
@@ -120,6 +121,8 @@ func (r *Runner) RunScenarioMatrix(cfg WorldConfig, sel *Selection, techs []core
 	for i := range results {
 		results[i] = make([]*scenario.Result, len(scs))
 	}
+	total := len(techs) * len(scs)
+	done := 0
 	sem := make(chan struct{}, r.workers())
 	var mu sync.Mutex
 	var firstErr error
@@ -145,6 +148,10 @@ func (r *Runner) RunScenarioMatrix(cfg WorldConfig, sel *Selection, techs []core
 				}
 				mu.Lock()
 				results[ti][si] = res
+				done++
+				if r != nil && r.Progress != nil {
+					r.Progress(done, total)
+				}
 				mu.Unlock()
 			}(ti, si)
 		}

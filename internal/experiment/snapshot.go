@@ -36,8 +36,13 @@ func (w *World) Snapshot() (*WorldSnapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiment: snapshotting bgp: %w", err)
 	}
+	// The registry is process state, not simulation state: a snapshot must
+	// not pin whoever built it. Restorers re-instrument with their own
+	// registry (see Runner.materialize).
+	cfg := w.Cfg
+	cfg.Obs = nil
 	return &WorldSnapshot{
-		cfg: w.Cfg,
+		cfg: cfg,
 		sim: simSnap,
 		net: netSnap,
 		cdn: w.CDN.Snapshot(),

@@ -52,7 +52,7 @@ func (r *Runner) PrependSweep(cfg WorldConfig, sel *Selection, depths []int, sit
 		if err != nil {
 			return nil, err
 		}
-		w, err := materialize(cfg, techs[di], fc.ConvergeTime, snap)
+		w, err := r.materialize(cfg, techs[di], fc.ConvergeTime, snap)
 		if err != nil {
 			return nil, err
 		}

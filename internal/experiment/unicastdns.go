@@ -80,7 +80,7 @@ func UnicastDNSFailover(cfg WorldConfig, ucfg UnicastDNSConfig) (*stats.CDF, err
 
 	// Fail the site at t0; the controller repoints DNS after detection.
 	w.Sim.RunUntil(t0)
-	if err := w.CDN.FailSite(failed.Code); err != nil {
+	if _, err := w.CDN.FailSite(failed.Code); err != nil {
 		return nil, err
 	}
 	w.Sim.RunUntil(t0 + w.CDN.DetectionDelay + 1)

@@ -13,6 +13,7 @@ import (
 	"bestofboth/internal/core"
 	"bestofboth/internal/dataplane"
 	"bestofboth/internal/netsim"
+	"bestofboth/internal/obs"
 	"bestofboth/internal/topology"
 )
 
@@ -32,6 +33,13 @@ type WorldConfig struct {
 	// (default 40, emulating the RIS/RouteViews full-feed peers used in
 	// Appendices A and B).
 	CollectorPeers int
+	// Workers bounds concurrent runs in Runner instances built from this
+	// config (see Runner()); <= 0 means GOMAXPROCS.
+	Workers int
+	// Obs, when non-nil, instruments every layer of worlds built from this
+	// config. It takes no part in simulation identity: snapKey ignores it,
+	// and snapshots strip it.
+	Obs *obs.Registry
 }
 
 func (c *WorldConfig) fillDefaults() {
@@ -78,10 +86,31 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	if err := col.Attach(net, collector.SelectPeers(topo, cfg.CollectorPeers, cfg.Seed)...); err != nil {
 		return nil, fmt.Errorf("experiment: attaching collector: %w", err)
 	}
-	return &World{
+	w := &World{
 		Cfg: cfg, Sim: sim, Topo: topo, Net: net,
 		Plane: plane, CDN: cdn, Collector: col,
-	}, nil
+	}
+	w.Instrument(cfg.Obs)
+	return w, nil
+}
+
+// Instrument attaches (or, with nil, detaches) an observability registry
+// across every layer of the world: kernel, BGP, data plane, and the CDN
+// (including its authoritative DNS). Instrumentation is pure counting and
+// never perturbs the simulation, so instrumented runs stay bit-identical
+// to bare ones.
+func (w *World) Instrument(r *obs.Registry) {
+	w.Cfg.Obs = r
+	w.Sim.Instrument(r)
+	w.Net.Instrument(r)
+	w.Plane.Instrument(r)
+	w.CDN.Instrument(r)
+}
+
+// Runner builds a Runner honoring the config's Workers bound and sharing
+// its observability registry.
+func (c WorldConfig) Runner() *Runner {
+	return &Runner{Workers: c.Workers, Obs: c.Obs}
 }
 
 // Converge drains control-plane events up to maxVirtual seconds, the

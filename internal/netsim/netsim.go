@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"bestofboth/internal/obs"
 )
 
 // Seconds is the unit of virtual time used throughout the simulator.
@@ -115,6 +117,15 @@ type Sim struct {
 	src    *countingSource
 	rng    *rand.Rand
 	nSteps uint64
+
+	// Metrics are nil until Instrument attaches a registry; all of the
+	// methods below no-op on nil receivers, so the uninstrumented event
+	// path stays allocation-free (pinned by TestEventPathZeroAllocs).
+	mSteps     *obs.Counter
+	mScheduled *obs.Counter
+	mQueueMax  *obs.Gauge
+	mClockMax  *obs.Gauge
+	mHorizon   *obs.Histogram
 }
 
 // New returns a simulator whose random source is seeded with seed.
@@ -123,6 +134,21 @@ type Sim struct {
 func New(seed int64) *Sim {
 	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
 	return &Sim{src: src, rng: rand.New(src)}
+}
+
+// Instrument attaches kernel metrics to r: events scheduled and executed,
+// the high-water queue depth, the furthest virtual clock reached, and the
+// scheduling-horizon distribution (how far ahead of now events are placed).
+// Instrumentation never changes execution — it draws no randomness and
+// schedules nothing — so instrumented and bare runs are bit-identical.
+// A nil registry detaches.
+func (s *Sim) Instrument(r *obs.Registry) {
+	s.mSteps = r.Counter("netsim_events_executed_total")
+	s.mScheduled = r.Counter("netsim_events_scheduled_total")
+	s.mQueueMax = r.Gauge("netsim_queue_depth_max")
+	s.mClockMax = r.Gauge("netsim_virtual_time_max_seconds")
+	s.mHorizon = r.Histogram("netsim_event_horizon_seconds",
+		0.001, 0.01, 0.1, 1, 10, 60, 600, 3600)
 }
 
 // Now returns the current virtual time in seconds.
@@ -147,6 +173,14 @@ func (s *Sim) At(at Seconds, fn func()) {
 	}
 	s.seq++
 	s.queue.push(event{at: at, seq: s.seq, fn: fn})
+	// All metric fields are set together by Instrument, so one nil check
+	// gates the whole group; Observe and SetMax do not inline, and the
+	// disabled path must not pay their call overhead.
+	if s.mScheduled != nil {
+		s.mScheduled.Inc()
+		s.mHorizon.Observe(at - s.now)
+		s.mQueueMax.SetMax(float64(len(s.queue)))
+	}
 }
 
 // After schedules fn to run d seconds from the current virtual time.
@@ -179,6 +213,10 @@ func (s *Sim) Step() bool {
 	e := s.queue.pop()
 	s.now = e.at
 	s.nSteps++
+	if s.mSteps != nil {
+		s.mSteps.Inc()
+		s.mClockMax.SetMax(e.at)
+	}
 	e.fn()
 	return true
 }

@@ -1,0 +1,30 @@
+package obs
+
+import "time"
+
+// Timer measures one wall-clock span into a histogram. The zero value (and
+// any Timer over a nil histogram) is inert, so scoped timing composes with
+// the disabled registry:
+//
+//	defer obs.StartTimer(h).Stop()
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer begins timing into h. A nil h yields an inert timer that costs
+// nothing beyond the call itself.
+func StartTimer(h *Histogram) Timer {
+	if h == nil {
+		return Timer{}
+	}
+	return Timer{h: h, start: time.Now()}
+}
+
+// Stop records the elapsed seconds since StartTimer. Safe on inert timers.
+func (t Timer) Stop() {
+	if t.h == nil {
+		return
+	}
+	t.h.Observe(time.Since(t.start).Seconds())
+}

@@ -104,8 +104,8 @@ type Event struct {
 
 // Scenario is a named fault-injection timeline.
 type Scenario struct {
-	Name        string  `json:"name"`
-	Description string  `json:"description,omitempty"`
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
 	// Damping requests route-flap damping (bgp.DefaultDamping) in worlds
 	// built for this scenario. It is advisory: the world builder (e.g.
 	// experiment.Runner) honors it; Run itself uses whatever network it is
@@ -240,7 +240,8 @@ func bindEvent(env *Env, e *Event) ([]action, error) {
 		}
 		site := e.Site
 		return []action{{e.At, e.Kind, "crash " + site, func(env *Env) error {
-			return env.CDN.CrashSite(site)
+			_, err := env.CDN.CrashSite(site)
+			return err
 		}}}, nil
 	case KindFail:
 		if err := env.checkSite(e.Site); err != nil {
@@ -248,7 +249,8 @@ func bindEvent(env *Env, e *Event) ([]action, error) {
 		}
 		site := e.Site
 		return []action{{e.At, e.Kind, "fail " + site, func(env *Env) error {
-			return env.CDN.FailSite(site)
+			_, err := env.CDN.FailSite(site)
+			return err
 		}}}, nil
 	case KindRecover:
 		if err := env.checkSite(e.Site); err != nil {
@@ -256,7 +258,8 @@ func bindEvent(env *Env, e *Event) ([]action, error) {
 		}
 		site := e.Site
 		return []action{{e.At, e.Kind, "recover " + site, func(env *Env) error {
-			return env.CDN.RecoverSite(site)
+			_, err := env.CDN.RecoverSite(site)
+			return err
 		}}}, nil
 	case KindDrain:
 		if err := env.checkSite(e.Site); err != nil {
@@ -265,7 +268,7 @@ func bindEvent(env *Env, e *Event) ([]action, error) {
 		site, grace := e.Site, e.DrainFor
 		label := fmt.Sprintf("drain %s (%gs grace)", site, grace)
 		return []action{{e.At, e.Kind, label, func(env *Env) error {
-			if err := env.CDN.DrainSite(site); err != nil {
+			if _, err := env.CDN.DrainSite(site); err != nil {
 				return err
 			}
 			node := env.CDN.Site(site).Node
@@ -347,14 +350,14 @@ func bindEvent(env *Env, e *Event) ([]action, error) {
 					if env.CDN.Failed(code) {
 						continue
 					}
-					if err := env.CDN.FailSite(code); err != nil {
+					if _, err := env.CDN.FailSite(code); err != nil {
 						return err
 					}
 				} else {
 					if !env.CDN.Failed(code) {
 						continue
 					}
-					if err := env.CDN.RecoverSite(code); err != nil {
+					if _, err := env.CDN.RecoverSite(code); err != nil {
 						return err
 					}
 				}
@@ -372,10 +375,10 @@ func bindEvent(env *Env, e *Event) ([]action, error) {
 			n := i + 1
 			out = append(out, action{cycle, KindFail,
 				fmt.Sprintf("flap %s down (%d/%d)", site, n, e.Count),
-				func(env *Env) error { return env.CDN.FailSite(site) }})
+				func(env *Env) error { _, err := env.CDN.FailSite(site); return err }})
 			out = append(out, action{cycle + e.Period/2, KindRecover,
 				fmt.Sprintf("flap %s up (%d/%d)", site, n, e.Count),
-				func(env *Env) error { return env.CDN.RecoverSite(site) }})
+				func(env *Env) error { _, err := env.CDN.RecoverSite(site); return err }})
 		}
 		return out, nil
 	}

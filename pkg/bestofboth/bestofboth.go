@@ -1,0 +1,213 @@
+// Package bestofboth is the public facade over the simulator: one import
+// exposing everything a typical program needs — building worlds, deploying
+// the paper's routing techniques, injecting failures, probing the data
+// plane, and reading metrics — without reaching into internal packages.
+//
+//	w, err := bestofboth.NewWorld(bestofboth.DefaultWorldConfig(
+//		bestofboth.WithSeed(7),
+//	))
+//	...
+//	w.CDN.Deploy(bestofboth.ReactiveAnycast{})
+//	w.Converge(3600)
+//	tr, err := w.CDN.FailSite("atl")
+//
+// Every name is a type alias or thin wrapper: values are interchangeable
+// with the underlying internal types, and the facade adds no behavior.
+package bestofboth
+
+import (
+	"bestofboth/internal/bgp"
+	"bestofboth/internal/core"
+	"bestofboth/internal/dataplane"
+	"bestofboth/internal/dns"
+	"bestofboth/internal/experiment"
+	"bestofboth/internal/netsim"
+	"bestofboth/internal/obs"
+	"bestofboth/internal/stats"
+	"bestofboth/internal/topology"
+)
+
+// --- Worlds ---------------------------------------------------------------
+
+// World bundles one fully wired simulation: topology, BGP speakers,
+// FIB-driven data plane, CDN controller, and a route collector.
+type World = experiment.World
+
+// WorldConfig parameterizes one simulated Internet + CDN instance.
+type WorldConfig = experiment.WorldConfig
+
+// Option mutates a WorldConfig under construction; see DefaultWorldConfig.
+type Option = experiment.Option
+
+// Runner executes experiment matrices across a worker pool with
+// converged-world snapshot reuse.
+type Runner = experiment.Runner
+
+// NewWorld builds a world from cfg. No technique is deployed yet.
+func NewWorld(cfg WorldConfig) (*World, error) { return experiment.NewWorld(cfg) }
+
+// DefaultWorldConfig builds the evaluation's baseline configuration (seed
+// 42, ~900-AS topology) with options applied on top.
+func DefaultWorldConfig(opts ...Option) WorldConfig { return experiment.DefaultWorldConfig(opts...) }
+
+// WithSeed sets the simulation seed.
+func WithSeed(seed int64) Option { return experiment.WithSeed(seed) }
+
+// WithWorkers bounds concurrent runs in Runner instances built from the
+// config; results are identical at any worker count.
+func WithWorkers(n int) Option { return experiment.WithWorkers(n) }
+
+// WithDamping enables RFC 2439 route-flap damping with default parameters.
+func WithDamping() Option { return experiment.WithDamping() }
+
+// WithObs attaches a metrics registry to every world built from the config.
+func WithObs(r *Registry) Option { return experiment.WithObs(r) }
+
+// WithScale scales the default topology's AS counts (1.0 ≈ 900 ASes).
+func WithScale(f float64) Option { return experiment.WithScale(f) }
+
+// --- CDN controller and techniques ---------------------------------------
+
+// CDN is the controller orchestrating announcements, DNS, failure
+// detection, and reactive reconfiguration across the sites.
+type CDN = core.CDN
+
+// Site is one CDN deployment location.
+type Site = core.Site
+
+// Monitor is the probing health-monitoring subsystem.
+type Monitor = core.Monitor
+
+// LoadBalancer assigns clients to sites under per-site capacities.
+type LoadBalancer = core.LoadBalancer
+
+// SiteTransition describes one applied lifecycle change (crash, fail,
+// drain, or recover) of a site.
+type SiteTransition = core.SiteTransition
+
+// TransitionKind enumerates the site lifecycle transitions.
+type TransitionKind = core.TransitionKind
+
+// Lifecycle transition kinds.
+const (
+	TransitionCrash   = core.TransitionCrash
+	TransitionFail    = core.TransitionFail
+	TransitionDrain   = core.TransitionDrain
+	TransitionRecover = core.TransitionRecover
+)
+
+// Technique is a client-to-site routing technique (§3, Figure 1).
+type Technique = core.Technique
+
+// The paper's techniques (§2-§4).
+type (
+	Unicast              = core.Unicast
+	Anycast              = core.Anycast
+	ProactiveSuperprefix = core.ProactiveSuperprefix
+	ReactiveAnycast      = core.ReactiveAnycast
+	ProactivePrepending  = core.ProactivePrepending
+	Combined             = core.Combined
+)
+
+// AllTechniques returns the paper's six techniques in presentation order.
+func AllTechniques() []Technique { return core.AllTechniques() }
+
+// AnycastServiceAddr is the service address inside the shared anycast
+// prefix.
+var AnycastServiceAddr = core.AnycastServiceAddr
+
+// ServiceAddr returns the conventional service address inside a prefix.
+var ServiceAddr = core.ServiceAddr
+
+// SitePrefix returns the dedicated /24 of the i-th site.
+var SitePrefix = core.SitePrefix
+
+// --- Errors ---------------------------------------------------------------
+
+// Sentinel errors; test with errors.Is.
+var (
+	ErrUnknownSite   = core.ErrUnknownSite
+	ErrNotDeployed   = core.ErrNotDeployed
+	ErrSiteFailed    = core.ErrSiteFailed
+	ErrSiteNotFailed = core.ErrSiteNotFailed
+	ErrNoTargets     = experiment.ErrNoTargets
+)
+
+// --- Observability --------------------------------------------------------
+
+// Registry collects metrics across every instrumented layer. A nil
+// *Registry disables collection at near-zero cost.
+type Registry = obs.Registry
+
+// MetricSnapshot is one metric's state in a snapshot.
+type MetricSnapshot = obs.MetricSnapshot
+
+// NewRegistry builds an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// --- Data plane, DNS, topology, BGP policy --------------------------------
+
+// Plane simulates packet forwarding over the FIBs the BGP layer produces.
+type Plane = dataplane.Plane
+
+// Prober reproduces the paper's Verfploeter-style probing (§5.2).
+type Prober = dataplane.Prober
+
+// ForwardResult reports one packet's fate.
+type ForwardResult = dataplane.ForwardResult
+
+// NewProber builds a prober emitting from a node with replies addressed to
+// replyTo.
+var NewProber = dataplane.NewProber
+
+// Authoritative is the CDN zone's authoritative DNS server.
+type Authoritative = dns.Authoritative
+
+// Resolver is a caching recursive resolver.
+type Resolver = dns.Resolver
+
+// Client is an end host with an empirical TTL-violation model.
+type DNSClient = dns.Client
+
+// ViolationModel models clients using DNS records past expiry.
+type ViolationModel = dns.ViolationModel
+
+// NewAuthoritative builds an authoritative server for the origin zone.
+func NewAuthoritative(origin string) *Authoritative { return dns.NewAuthoritative(origin) }
+
+// NewResolver builds a caching resolver backed by an authoritative server.
+func NewResolver(auth *Authoritative) *Resolver { return dns.NewResolver(auth) }
+
+// NewDNSClient builds a client resolving name through resolver.
+func NewDNSClient(resolver *Resolver, name string, seed int64, v ViolationModel) *DNSClient {
+	return dns.NewClient(resolver, name, seed, v)
+}
+
+// DefaultViolationModel returns the literature-derived TTL-violation model.
+func DefaultViolationModel() ViolationModel { return dns.DefaultViolationModel() }
+
+// NodeID identifies one node (AS) in the topology.
+type NodeID = topology.NodeID
+
+// Node is one autonomous system in the generated topology.
+type Node = topology.Node
+
+// Seconds is virtual time.
+type Seconds = netsim.Seconds
+
+// OriginPolicy customizes one origination (prepending, MED, communities).
+type OriginPolicy = bgp.OriginPolicy
+
+// --- Statistics -----------------------------------------------------------
+
+// CDF is an empirical distribution with percentile accessors.
+type CDF = stats.CDF
+
+// Table renders fixed-width text tables.
+type Table = stats.Table
+
+// NewCDF builds an empirical CDF from samples.
+func NewCDF(samples []float64) *CDF { return stats.NewCDF(samples) }
+
+// Pct formats a share in [0,1] as a percentage.
+func Pct(f float64) string { return stats.Pct(f) }

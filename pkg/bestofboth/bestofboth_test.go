@@ -1,0 +1,81 @@
+package bestofboth_test
+
+import (
+	"errors"
+	"testing"
+
+	"bestofboth/pkg/bestofboth"
+)
+
+// TestFacadeEndToEnd drives the public surface the way examples do: build a
+// world through options, deploy a technique, instrument it, fail and
+// recover a site through the typed lifecycle API, and read metrics — all
+// without importing internal packages.
+func TestFacadeEndToEnd(t *testing.T) {
+	reg := bestofboth.NewRegistry()
+	w, err := bestofboth.NewWorld(bestofboth.DefaultWorldConfig(
+		bestofboth.WithSeed(9),
+		bestofboth.WithScale(0.1),
+		bestofboth.WithObs(reg),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CDN.Deploy(bestofboth.ReactiveAnycast{}); err != nil {
+		t.Fatal(err)
+	}
+	w.Converge(3600)
+
+	if got := len(bestofboth.AllTechniques()); got != 6 {
+		t.Fatalf("AllTechniques() = %d techniques, want 6", got)
+	}
+
+	atl := w.CDN.Site("atl")
+	if atl == nil {
+		t.Fatal("no atl site")
+	}
+	prober := bestofboth.NewProber(w.Plane, w.CDN.Site("ams").Node, atl.Addr)
+	client := w.Targets()[3]
+	prober.PingEvery(client.ID, 1.5, 30)
+
+	tr, err := w.CDN.FailSite("atl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Kind != bestofboth.TransitionFail || tr.Site != "atl" {
+		t.Fatalf("transition = %+v", tr)
+	}
+	w.Sim.RunFor(120)
+
+	if _, err := w.CDN.FailSite("zzz"); !errors.Is(err, bestofboth.ErrUnknownSite) {
+		t.Fatalf("got %v, want ErrUnknownSite through the facade", err)
+	}
+	if _, err := w.CDN.FailSite("atl"); !errors.Is(err, bestofboth.ErrSiteFailed) {
+		t.Fatalf("got %v, want ErrSiteFailed through the facade", err)
+	}
+	if _, err := w.CDN.RecoverSite("atl"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.DeterministicSnapshot()
+	if len(snap) == 0 {
+		t.Fatal("facade-built world produced no metrics")
+	}
+	found := false
+	for _, m := range snap {
+		if m.Name == "netsim_events_executed_total" && m.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("kernel metrics missing from the facade registry")
+	}
+
+	cdf := bestofboth.NewCDF([]float64{1, 2, 3, 4})
+	if cdf.Median() != 3 && cdf.Median() != 2.5 && cdf.Median() != 2 {
+		t.Fatalf("CDF median = %v", cdf.Median())
+	}
+	if bestofboth.Pct(0.5) == "" {
+		t.Fatal("Pct broken")
+	}
+}
