@@ -1,0 +1,212 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document so the performance trajectory of the simulator can be tracked
+// file-by-file in CI artifacts.
+//
+// Usage:
+//
+//	go test -bench ... -benchmem | benchjson [-baseline base.json] [-out file.json]
+//
+// Every benchmark line becomes one record carrying ns/op, B/op, allocs/op,
+// and all custom metrics (the per-technique headline p50s the Figure 2
+// benchmark reports). With -baseline, the benchmarks of a previous benchjson
+// file are embedded verbatim and per-benchmark percentage reductions are
+// computed for ns/op and allocs/op, which is how BENCH_PR4.json records the
+// zero-copy kernel's gains against the pre-change tree.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"nsPerOp"`
+	BytesPerOp  float64            `json:"bytesPerOp,omitempty"`
+	AllocsPerOp float64            `json:"allocsPerOp,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Reduction is the improvement of a benchmark relative to the baseline, in
+// percent (positive = better/lower).
+type Reduction struct {
+	NsPerOpPct     float64 `json:"nsPerOpPct"`
+	AllocsPerOpPct float64 `json:"allocsPerOpPct"`
+}
+
+// File is the document benchjson writes (and reads back as a baseline).
+type File struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Baseline   []Benchmark `json:"baseline,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// ReductionsVsBaselinePct maps benchmark name to its improvement over
+	// the embedded baseline.
+	ReductionsVsBaselinePct map[string]Reduction `json:"reductionsVsBaselinePct,omitempty"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "benchjson file whose benchmarks are embedded as the baseline")
+	outPath := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	out, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(out.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	if *baselinePath != "" {
+		base, err := readFile(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		out.Baseline = base.Benchmarks
+		out.ReductionsVsBaselinePct = reductions(base.Benchmarks, out.Benchmarks)
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	b = append(b, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*outPath, b, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}
+
+func readFile(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func parse(r *os.File) (*File, error) {
+	out := &File{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			out.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			out.Benchmarks = append(out.Benchmarks, b)
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName[-P]  N  v1 unit1  v2 unit2  ...
+//
+// Units ending in /op map to the well-known fields; anything else is a
+// custom metric keyed by its unit string.
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix if present.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bad value %q in %q: %w", fields[i], line, err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, nil
+}
+
+func reductions(base, cur []Benchmark) map[string]Reduction {
+	byName := make(map[string]Benchmark, len(base))
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	out := map[string]Reduction{}
+	for _, c := range cur {
+		b, ok := byName[c.Name]
+		if !ok {
+			continue
+		}
+		out[c.Name] = Reduction{
+			NsPerOpPct:     pctDrop(b.NsPerOp, c.NsPerOp),
+			AllocsPerOpPct: pctDrop(b.AllocsPerOp, c.AllocsPerOp),
+		}
+	}
+	return out
+}
+
+func pctDrop(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return round2((base - cur) / base * 100)
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+sign(v)*0.5)) / 100
+}
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}

@@ -32,6 +32,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -48,7 +49,9 @@ type options struct {
 	maxTargets int
 	duration   float64
 	sites      string
-	scale      float64
+	scale      string
+	scaleF     float64
+	paper      bool
 	c1Site     string
 	ttl        uint
 	clients    int
@@ -70,7 +73,7 @@ func main() {
 	flag.IntVar(&opts.maxTargets, "probe-targets", 60, "max controllable targets probed per failover run")
 	flag.Float64Var(&opts.duration, "probe-duration", 600, "seconds of probing after a failure (§5.2)")
 	flag.StringVar(&opts.sites, "sites", strings.Join(topology.DefaultSiteCodes, ","), "comma-separated sites to fail")
-	flag.Float64Var(&opts.scale, "scale", 1.0, "topology scale factor (1.0 ≈ 900 ASes)")
+	flag.StringVar(&opts.scale, "scale", "1", `topology scale factor (1 ≈ 900 ASes), or "paper" (~4x topology, 50K-target selection)`)
 	flag.StringVar(&opts.c1Site, "c1-site", "sea1", "site analyzed by the c1 command")
 	flag.UintVar(&opts.ttl, "ttl", 600, "DNS record TTL for unicast-dns (seconds)")
 	flag.IntVar(&opts.clients, "clients", 2000, "client population for unicast-dns")
@@ -83,6 +86,29 @@ func main() {
 	flag.StringVar(&opts.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.BoolVar(&opts.progress, "progress", false, "print live run progress to stderr")
 	flag.Parse()
+
+	if opts.scale == "paper" {
+		// The paper-scale preset: ~4x topology and the paper's 50K-target
+		// selection cap (§5.1), unless -targets was given explicitly.
+		opts.paper = true
+		opts.scaleF = experiment.PaperScale
+		targetsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "targets" {
+				targetsSet = true
+			}
+		})
+		if !targetsSet {
+			opts.targets = experiment.PaperTargetsPerSite
+		}
+	} else {
+		f, err := strconv.ParseFloat(opts.scale, 64)
+		if err != nil || f <= 0 {
+			fmt.Fprintf(os.Stderr, "cdnsim: -scale must be a positive number or \"paper\", got %q\n", opts.scale)
+			os.Exit(2)
+		}
+		opts.scaleF = f
+	}
 
 	// The registry is always live: instrumentation is pure counting, never
 	// perturbs the simulation, and costs a few percent at most. -metrics
@@ -120,7 +146,7 @@ func main() {
 func (o options) worldConfig() experiment.WorldConfig {
 	return experiment.DefaultWorldConfig(
 		experiment.WithSeed(o.seed),
-		experiment.WithScale(o.scale),
+		experiment.WithScale(o.scaleF),
 		experiment.WithWorkers(o.workers),
 		experiment.WithObs(o.reg),
 	)
@@ -160,6 +186,11 @@ func (o options) finish(command string, cfg experiment.WorldConfig) error {
 	if o.jsonOut != "" {
 		mp := experiment.ManifestPath(o.jsonOut)
 		man := experiment.NewManifest(command, cfg, o.workers, o.reg)
+		if o.metricsOut != "" {
+			// Paper-scale runs record their memory footprint alongside the
+			// metric snapshot: peak RSS and cumulative heap allocation.
+			man.Mem = experiment.ReadMemFootprint()
+		}
 		if err := man.WriteFile(mp); err != nil {
 			return err
 		}

@@ -49,6 +49,18 @@ const (
 )
 
 // Route is a BGP path for one prefix as stored in a RIB.
+//
+// Immutability invariant: a Route is frozen the moment it is published —
+// stored into an adj-RIB slot, handed to send, or passed to any callback.
+// Only the speaker code that constructs a Route may set its fields, and only
+// before publishing it. Everything downstream relies on this: send shares
+// the sender's adj-RIB-out pointer into the Update instead of cloning,
+// receive makes a shallow struct copy (sharing Path and Communities) to hold
+// its receiver-local LocalPref/learnedFrom, feeds and OnBestChange callbacks
+// see live RIB pointers, AS paths are interned per Network, and snapshots
+// share Route pointers copy-on-write across restored worlds. Mutating a
+// published Route corrupts all of those at once — change state by building a
+// new Route and swapping the pointer.
 type Route struct {
 	Prefix netip.Prefix
 	// Path is the AS path. Path[0] is the ASN of the speaker that sent the
@@ -76,7 +88,9 @@ type Route struct {
 // owning node's adjacency list.
 func (r *Route) LearnedFrom() int { return r.learnedFrom }
 
-// Clone returns a deep copy of r.
+// Clone returns a deep copy of r. The protocol hot paths no longer clone —
+// published routes are immutable and shared — but Clone remains for code
+// that wants a detached copy to build a modified route from.
 func (r *Route) Clone() *Route {
 	c := *r
 	c.Path = slices.Clone(r.Path)
@@ -139,6 +153,11 @@ type NeighborPolicy struct {
 }
 
 // OriginPolicy configures how a speaker originates a prefix.
+//
+// Like Route, an OriginPolicy is immutable once passed to Originate: the
+// speaker stores the pointer, exports share its Communities slice directly,
+// and snapshots share the policy across restored worlds. To change a
+// policy, build a new one and re-originate.
 type OriginPolicy struct {
 	// Prepend adds extra copies of the origin ASN on all exports.
 	Prepend int
@@ -214,6 +233,14 @@ type Network struct {
 	speakers []*Speaker
 	onBest   []BestChangeFunc
 
+	// intern deduplicates AS-path slices across all speakers; see intern.go.
+	intern pathIntern
+	// freeDeliv and freePend recycle the payload structs of the two
+	// hottest event kinds (update deliveries and MRAI pacing timers), so
+	// steady-state propagation schedules events without allocating.
+	freeDeliv []*delivery
+	freePend  []*pendingExport
+
 	// MessageCount tallies UPDATE messages delivered, for ablation studies.
 	MessageCount uint64
 
@@ -234,7 +261,7 @@ type Network struct {
 
 // New builds a Network with one speaker per topology node.
 func New(sim *netsim.Sim, topo *topology.Topology, cfg Config) *Network {
-	n := &Network{sim: sim, topo: topo, cfg: cfg}
+	n := &Network{sim: sim, topo: topo, cfg: cfg, intern: newPathIntern()}
 	n.speakers = make([]*Speaker, topo.Len())
 	for _, node := range topo.Nodes {
 		n.speakers[node.ID] = newSpeaker(n, node)

@@ -1,0 +1,146 @@
+package bgp
+
+import (
+	"bestofboth/internal/topology"
+)
+
+// pathIntern deduplicates AS-path slices within one Network. Routes are
+// immutable after publish (see the Route doc), so every speaker that exports
+// the same path content can share one slice: prepend runs at an origin and
+// the head+tail extension a transit speaker produces both collapse to a
+// single allocation per distinct path in the network's lifetime.
+//
+// Keys are the byte encoding of the path (4 bytes per ASN, little-endian),
+// built in a reusable scratch buffer; the map lookup via m[string(key)] is
+// recognized by the compiler and does not allocate, so interning an
+// already-known path is allocation-free. The table is per-Network and the
+// network is single-threaded (one Sim), so no locking is needed.
+type pathIntern struct {
+	m   map[string][]topology.ASN
+	key []byte
+}
+
+func newPathIntern() pathIntern {
+	return pathIntern{m: make(map[string][]topology.ASN), key: make([]byte, 0, 256)}
+}
+
+func (pi *pathIntern) appendASN(a topology.ASN) {
+	pi.key = append(pi.key, byte(a), byte(a>>8), byte(a>>16), byte(a>>24))
+}
+
+// repeat returns the interned path consisting of n copies of asn — the shape
+// every origination produces (one mandatory copy plus prepending).
+func (pi *pathIntern) repeat(asn topology.ASN, n int) []topology.ASN {
+	pi.key = pi.key[:0]
+	for i := 0; i < n; i++ {
+		pi.appendASN(asn)
+	}
+	if p, ok := pi.m[string(pi.key)]; ok {
+		return p
+	}
+	p := make([]topology.ASN, n)
+	for i := range p {
+		p[i] = asn
+	}
+	pi.m[string(pi.key)] = p
+	return p
+}
+
+// extend returns the interned path head·tail — the shape every transit
+// export produces (own ASN prepended to the best route's path).
+func (pi *pathIntern) extend(head topology.ASN, tail []topology.ASN) []topology.ASN {
+	pi.key = pi.key[:0]
+	pi.appendASN(head)
+	for _, a := range tail {
+		pi.appendASN(a)
+	}
+	if p, ok := pi.m[string(pi.key)]; ok {
+		return p
+	}
+	p := make([]topology.ASN, 1+len(tail))
+	p[0] = head
+	copy(p[1:], tail)
+	pi.m[string(pi.key)] = p
+	return p
+}
+
+// seed registers an existing immutable path under its content so later
+// interning of the same content returns this exact slice. Restore seeds the
+// table with the snapshot's adj-RIB-out paths: post-restore exports of
+// unchanged routes then hit the pointer-equality fast path in samePath.
+func (pi *pathIntern) seed(p []topology.ASN) {
+	if len(p) == 0 {
+		return
+	}
+	pi.key = pi.key[:0]
+	for _, a := range p {
+		pi.appendASN(a)
+	}
+	if _, ok := pi.m[string(pi.key)]; !ok {
+		pi.m[string(pi.key)] = p
+	}
+}
+
+// delivery is the recycled payload of a send→receive event: the scheduled
+// arrival of one UPDATE at a neighbor. Pooling these (plus netsim.AtCall)
+// removes the per-message closure allocation on the hottest path in the
+// simulator.
+type delivery struct {
+	peer  *Speaker
+	rev   int
+	epoch uint64
+	u     Update
+}
+
+// runDelivery is the shared event callback for all pooled deliveries. The
+// payload is returned to the free-list before the receive runs, so sends
+// triggered by this very receive can already reuse it.
+func runDelivery(a any) {
+	d := a.(*delivery)
+	peer, rev, epoch, u := d.peer, d.rev, d.epoch, d.u
+	n := peer.net
+	*d = delivery{}
+	n.freeDeliv = append(n.freeDeliv, d)
+	// A session reset or link failure while the update was in flight tears
+	// down the TCP connection it rode on; the update must never arrive.
+	if peer.sessEpoch[rev] != epoch {
+		return
+	}
+	peer.receive(rev, u)
+}
+
+// pendingExport is the recycled payload of an MRAI-pacing timer: re-run
+// export for one (prefix, session) when its advertisement interval expires.
+type pendingExport struct {
+	s    *Speaker
+	st   *prefixState
+	sess int
+}
+
+func runPendingExport(a any) {
+	pe := a.(*pendingExport)
+	s, st, sess := pe.s, pe.st, pe.sess
+	n := s.net
+	*pe = pendingExport{}
+	n.freePend = append(n.freePend, pe)
+	st.pending[sess] = false
+	s.export(st.prefix, st, sess)
+}
+
+func (n *Network) newDelivery() *delivery {
+	if k := len(n.freeDeliv); k > 0 {
+		d := n.freeDeliv[k-1]
+		n.freeDeliv = n.freeDeliv[:k-1]
+		return d
+	}
+	return &delivery{}
+}
+
+func (n *Network) newPendingExport() *pendingExport {
+	if k := len(n.freePend); k > 0 {
+		pe := n.freePend[k-1]
+		n.freePend = n.freePend[:k-1]
+		return pe
+	}
+	return &pendingExport{}
+}

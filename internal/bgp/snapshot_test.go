@@ -91,8 +91,10 @@ func TestNetworkSnapshotRestoreEquivalence(t *testing.T) {
 }
 
 // TestNetworkSnapshotIsolation restores the same snapshot into two networks
-// and checks that they share no mutable route state with each other or with
-// the snapshot.
+// and checks the copy-on-write contract: restored worlds share the
+// snapshot's immutable routes by pointer, and a world that diverges after
+// restore swaps pointers in its own slices without leaking into its
+// siblings or the snapshot.
 func TestNetworkSnapshotIsolation(t *testing.T) {
 	sim1, net1 := convergeLine(t, 5, nil)
 	if _, err := sim1.Snapshot(); err != nil {
@@ -115,16 +117,29 @@ func TestNetworkSnapshotIsolation(t *testing.T) {
 
 	ra := a.Speaker(2).Best(testPrefix)
 	rb := b.Speaker(2).Best(testPrefix)
-	if ra == rb {
-		t.Fatal("restored networks share a *Route")
+	if ra != rb {
+		t.Fatal("restored networks should share the snapshot's immutable *Route")
 	}
-	ra.Path[0] = 9999
-	if rb.Path[0] == 9999 {
-		t.Fatal("restored networks share a Path slice")
+	wantPath := append([]topology.ASN(nil), ra.Path...)
+
+	// Diverge world a: withdraw the origination and run it to quiescence.
+	// World b and any later restore must be unaffected.
+	a.Withdraw(0, testPrefix)
+	a.Sim().Run()
+	if a.Speaker(2).Best(testPrefix) != nil {
+		t.Fatal("world a still has a route after withdrawal")
+	}
+	if got := b.Speaker(2).Best(testPrefix); got != rb {
+		t.Fatal("divergence in world a replaced world b's best route")
+	}
+	for i, asn := range b.Speaker(2).Best(testPrefix).Path {
+		if asn != wantPath[i] {
+			t.Fatalf("divergence in world a mutated the shared path: %v", b.Speaker(2).Best(testPrefix).Path)
+		}
 	}
 	c := restore()
-	if c.Speaker(2).Best(testPrefix).Path[0] == 9999 {
-		t.Fatal("mutation of a restored network leaked into the snapshot")
+	if got := c.Speaker(2).Best(testPrefix); got != rb {
+		t.Fatal("divergence in world a leaked into the snapshot")
 	}
 }
 

@@ -38,6 +38,13 @@ type Speaker struct {
 	sessEpoch []uint64
 
 	prefixes map[netip.Prefix]*prefixState
+
+	// sorted caches KnownPrefixes' sorted output; sortedDirty is set on
+	// every prefix-state insertion. Fault injection iterates the full table
+	// per session flush, which re-sorted the map keys every time before the
+	// cache existed.
+	sorted      []netip.Prefix
+	sortedDirty bool
 }
 
 // prefixState holds all per-prefix RIB and pacing state of one speaker.
@@ -49,6 +56,11 @@ type prefixState struct {
 	pending     []bool
 	best        *Route
 	origin      *OriginPolicy
+	// originRoute is the loc-RIB entry representing the local origination,
+	// built once per Originate call instead of on every recompute. Non-nil
+	// exactly when origin is non-nil; its maximal LocalPref means it is
+	// always the best route while present.
+	originRoute *Route
 	damp        []dampState // allocated on first flap when damping is on
 }
 
@@ -86,14 +98,16 @@ func (s *Speaker) state(p netip.Prefix) *prefixState {
 	st, ok := s.prefixes[p]
 	if !ok {
 		n := len(s.node.Adj)
+		rib := make([]*Route, 2*n) // adj-RIBs-in and -out share one backing array
 		st = &prefixState{
 			prefix:      p,
-			in:          make([]*Route, n),
-			out:         make([]*Route, n),
+			in:          rib[:n:n],
+			out:         rib[n:],
 			nextAllowed: make([]netsim.Seconds, n),
 			pending:     make([]bool, n),
 		}
 		s.prefixes[p] = st
+		s.sortedDirty = true
 		s.net.m.prefixStates.Inc()
 	}
 	return st
@@ -122,24 +136,42 @@ func (s *Speaker) AdjIn(p netip.Prefix) []*Route {
 	return nil
 }
 
-// KnownPrefixes returns every prefix with any state at this speaker.
+// KnownPrefixes returns every prefix with any state at this speaker, in
+// sorted order. The sorted list is cached and invalidated when a new prefix
+// appears, so repeated calls (session flushes walk the whole table) don't
+// re-sort. The returned slice is shared: callers must not modify it or hold
+// it across prefix insertions.
 func (s *Speaker) KnownPrefixes() []netip.Prefix {
-	out := make([]netip.Prefix, 0, len(s.prefixes))
-	for p := range s.prefixes {
-		out = append(out, p)
+	if !s.sortedDirty {
+		return s.sorted
 	}
-	slices.SortFunc(out, func(a, b netip.Prefix) int {
+	s.sorted = s.sorted[:0]
+	for p := range s.prefixes {
+		s.sorted = append(s.sorted, p)
+	}
+	slices.SortFunc(s.sorted, func(a, b netip.Prefix) int {
 		if c := a.Addr().Compare(b.Addr()); c != 0 {
 			return c
 		}
 		return a.Bits() - b.Bits()
 	})
-	return out
+	s.sortedDirty = false
+	return s.sorted
 }
 
 func (s *Speaker) originate(p netip.Prefix, pol *OriginPolicy) {
 	st := s.state(p)
 	st.origin = pol
+	// Build the loc-RIB origin entry once per origination. A fresh Route is
+	// mandatory even on re-origination: the previous one may be published
+	// (st.best, FIBs, feeds) and published routes are immutable.
+	st.originRoute = &Route{
+		Prefix:      p,
+		LocalPref:   1 << 20,
+		MED:         pol.MED,
+		OriginNode:  s.node.ID,
+		learnedFrom: -1,
+	}
 	s.recompute(p, st)
 	// A policy change (e.g. new prepend depth) may alter exports even when
 	// the best route is unchanged, so always reconsider every session.
@@ -152,6 +184,7 @@ func (s *Speaker) withdrawOrigin(p netip.Prefix) {
 		return
 	}
 	st.origin = nil
+	st.originRoute = nil
 	s.recompute(p, st)
 	s.exportAll(p, st)
 }
@@ -188,10 +221,18 @@ func (s *Speaker) receive(sess int, u Update) {
 			// neighbor previously advertised, but the looping path is not
 			// usable, so the net effect is a withdrawal of the old route.
 			st.in[sess] = nil
+		} else if cur := st.in[sess]; cur != nil && sameWire(r, cur) {
+			// Duplicate re-advertisement: the adj-RIB-in entry would come
+			// out identical (LocalPref and learnedFrom depend only on the
+			// session), so keep the existing one.
 		} else {
-			r.LocalPref = importPref(s.node.Adj[sess].Rel)
-			r.learnedFrom = sess
-			st.in[sess] = r
+			// The received route is shared with the sender's adj-RIB-out and
+			// immutable; shallow-copy the struct to hold the receiver-local
+			// fields. Path and Communities stay shared.
+			c := *r
+			c.LocalPref = importPref(s.node.Adj[sess].Rel)
+			c.learnedFrom = sess
+			st.in[sess] = &c
 		}
 	case Withdraw:
 		if st.in[sess] == nil {
@@ -248,13 +289,7 @@ func (s *Speaker) recompute(p netip.Prefix, st *prefixState) {
 	if st.origin != nil {
 		// Locally originated routes always win (empty AS path, maximal
 		// preference — the analogue of administrative weight).
-		best = &Route{
-			Prefix:      p,
-			LocalPref:   1 << 20,
-			MED:         st.origin.MED,
-			OriginNode:  s.node.ID,
-			learnedFrom: -1,
-		}
+		best = st.originRoute
 	}
 	damping := s.net.cfg.Damping
 	for sess, r := range st.in {
@@ -294,7 +329,8 @@ func (s *Speaker) notifyFeeds(p netip.Prefix, best *Route) {
 	if best == nil {
 		u = Update{Type: Withdraw, Prefix: p}
 	} else {
-		u = Update{Type: Announce, Prefix: p, Route: best.Clone()}
+		// best is published and therefore immutable; the feed shares it.
+		u = Update{Type: Announce, Prefix: p, Route: best}
 	}
 	// Collector sessions see the update after a processing delay, like any
 	// other neighbor, but in sending order (the session is TCP).
@@ -319,15 +355,25 @@ func (s *Speaker) exportAll(p netip.Prefix, st *prefixState) {
 	}
 }
 
-// desiredExport computes the route that should currently be on the wire
-// toward session sess for prefix p, or nil if none.
-func (s *Speaker) desiredExport(p netip.Prefix, st *prefixState, sess int) *Route {
+// exportIntent describes what should be on the wire toward one session:
+// an interned path, a shared (immutable) communities slice, and the scalar
+// attributes. Computing an intent never allocates — a Route is materialized
+// only when the wire state actually changes.
+type exportIntent struct {
+	path       []topology.ASN
+	comm       []uint32
+	med        int
+	originNode topology.NodeID
+}
+
+// desiredExport computes the export intent toward session sess, or ok=false
+// if nothing should be advertised.
+func (s *Speaker) desiredExport(st *prefixState, sess int) (it exportIntent, ok bool) {
 	best := st.best
 	if best == nil {
-		return nil
+		return exportIntent{}, false
 	}
 	adj := s.node.Adj[sess]
-	neighbor := s.net.topo.Node(adj.To)
 
 	if best.learnedFrom == -1 {
 		// Locally originated: apply the origination policy.
@@ -335,49 +381,78 @@ func (s *Speaker) desiredExport(p netip.Prefix, st *prefixState, sess int) *Rout
 		prepend := pol.Prepend
 		if np, ok := pol.PerNeighbor[adj.To]; ok {
 			if !np.Export {
-				return nil
+				return exportIntent{}, false
 			}
 			prepend = np.Prepend
 		}
-		path := make([]topology.ASN, 1+prepend)
-		for i := range path {
-			path[i] = s.node.ASN
-		}
-		return &Route{
-			Prefix: p, Path: path, MED: pol.MED, OriginNode: s.node.ID,
-			Communities: slices.Clone(pol.Communities),
-		}
+		return exportIntent{
+			path:       s.net.intern.repeat(s.node.ASN, 1+prepend),
+			comm:       pol.Communities,
+			med:        pol.MED,
+			originNode: s.node.ID,
+		}, true
 	}
 
 	// Transit route. Split horizon: never send a route back over the
 	// session it was learned from.
 	if best.learnedFrom == sess {
-		return nil
+		return exportIntent{}, false
 	}
 	// Well-known communities (RFC 1997): NO_ADVERTISE stops the route
 	// here; NO_EXPORT confines it to the AS that received it (every
 	// speaker is its own AS at this granularity, so both stop export).
 	if best.HasCommunity(CommunityNoAdvertise) || best.HasCommunity(CommunityNoExport) {
-		return nil
+		return exportIntent{}, false
 	}
 	// Gao-Rexford export: routes learned from peers or providers are only
 	// exported to customers.
 	learnedRel := s.node.Adj[best.learnedFrom].Rel
 	if learnedRel != topology.RelCustomer && adj.Rel != topology.RelCustomer {
-		return nil
+		return exportIntent{}, false
 	}
 	// Sender-side loop avoidance: the neighbor would reject a path
 	// containing its own ASN.
-	if best.ContainsASN(neighbor.ASN) {
-		return nil
+	if best.ContainsASN(s.net.topo.Node(adj.To).ASN) {
+		return exportIntent{}, false
 	}
-	path := make([]topology.ASN, 0, len(best.Path)+1)
-	path = append(path, s.node.ASN)
-	path = append(path, best.Path...)
-	return &Route{
-		Prefix: p, Path: path, MED: 0, OriginNode: best.OriginNode,
-		Communities: slices.Clone(best.Communities),
+	return exportIntent{
+		path:       s.net.intern.extend(s.node.ASN, best.Path),
+		comm:       best.Communities,
+		med:        0,
+		originNode: best.OriginNode,
+	}, true
+}
+
+// samePath compares AS paths with a pointer-equality fast path: interned
+// paths with equal content are the same slice, so the content comparison
+// only runs for slices that predate the intern table (e.g. out of an old
+// snapshot).
+func samePath(a, b []topology.ASN) bool {
+	if len(a) != len(b) {
+		return false
 	}
+	if len(a) == 0 || &a[0] == &b[0] {
+		return true
+	}
+	return slices.Equal(a, b)
+}
+
+func sameComm(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 || &a[0] == &b[0] {
+		return true
+	}
+	return slices.Equal(a, b)
+}
+
+// intentMatches reports whether out (the last transmitted route on the
+// session) already carries the intent on the wire. The prefix is implied:
+// out routes are built for the prefix of the state they live in.
+func intentMatches(it exportIntent, out *Route) bool {
+	return out != nil && out.MED == it.med && samePath(out.Path, it.path) &&
+		sameComm(out.Communities, it.comm)
 }
 
 // export transmits the desired state toward session sess, honoring MRAI for
@@ -388,32 +463,40 @@ func (s *Speaker) export(p netip.Prefix, st *prefixState, sess int) {
 		// at session establishment brings the neighbor up to date.
 		return
 	}
-	desired := s.desiredExport(p, st, sess)
-	if sameWire(desired, st.out[sess]) {
+	it, want := s.desiredExport(st, sess)
+	if want {
+		if intentMatches(it, st.out[sess]) {
+			return
+		}
+	} else if st.out[sess] == nil {
 		return
 	}
 	now := s.net.sim.Now()
-	if desired == nil && !s.net.cfg.PaceWithdrawals {
+	if !want && !s.net.cfg.PaceWithdrawals {
 		st.out[sess] = nil
 		s.send(sess, Update{Type: Withdraw, Prefix: p})
 		return
 	}
 	if now >= st.nextAllowed[sess] {
 		st.nextAllowed[sess] = now + s.mraiInterval()
-		st.out[sess] = desired
-		if desired == nil {
+		if !want {
+			st.out[sess] = nil
 			s.send(sess, Update{Type: Withdraw, Prefix: p})
 		} else {
-			s.send(sess, Update{Type: Announce, Prefix: p, Route: desired})
+			r := &Route{
+				Prefix: p, Path: it.path, MED: it.med,
+				OriginNode: it.originNode, Communities: it.comm,
+			}
+			st.out[sess] = r
+			s.send(sess, Update{Type: Announce, Prefix: p, Route: r})
 		}
 		return
 	}
 	if !st.pending[sess] {
 		st.pending[sess] = true
-		s.net.sim.At(st.nextAllowed[sess], func() {
-			st.pending[sess] = false
-			s.export(p, st, sess)
-		})
+		pe := s.net.newPendingExport()
+		pe.s, pe.st, pe.sess = s, st, sess
+		s.net.sim.AtCall(st.nextAllowed[sess], runPendingExport, pe)
 	}
 }
 
@@ -441,9 +524,9 @@ func (s *Speaker) send(sess int, u Update) {
 	} else {
 		s.net.m.sentAnn.Inc()
 	}
-	if u.Route != nil {
-		u.Route = u.Route.Clone()
-	}
+	// The route rides the wire as-is: it is published (stored in this
+	// speaker's adj-RIB-out) and therefore immutable, so the receiver can
+	// share it. No clone.
 	delay := adj.Delay + s.net.sim.Jitter(s.net.cfg.ProcMin, s.net.cfg.ProcMax)
 	at := s.net.sim.Now() + delay
 	// Preserve TCP's in-order delivery on the session.
@@ -451,16 +534,13 @@ func (s *Speaker) send(sess int, u Update) {
 		at = s.lastDeliver[sess] + 1e-6
 	}
 	s.lastDeliver[sess] = at
-	// Capture the receiver-side session epoch: if the session is reset (or
-	// the link fails) while this update is in flight, the TCP connection it
-	// rode on is gone and the update must never be delivered.
-	epoch := peer.sessEpoch[rev]
-	s.net.sim.At(at, func() {
-		if peer.sessEpoch[rev] != epoch {
-			return
-		}
-		peer.receive(rev, u)
-	})
+	// The delivery payload captures the receiver-side session epoch: if the
+	// session is reset (or the link fails) while this update is in flight,
+	// the TCP connection it rode on is gone and the update must never be
+	// delivered (checked by runDelivery).
+	d := s.net.newDelivery()
+	d.peer, d.rev, d.epoch, d.u = peer, rev, peer.sessEpoch[rev], u
+	s.net.sim.AtCall(at, runDelivery, d)
 }
 
 // flushSession clears all per-session RIB state for sess — adj-RIB-in,

@@ -78,7 +78,9 @@ type ForwardResult struct {
 	// Delay is the accumulated one-way latency in seconds over the hops
 	// actually traversed.
 	Delay float64
-	// Path lists the nodes traversed, starting at the source.
+	// Path lists the nodes traversed, starting at the source. Populated
+	// only by ForwardTrace; Forward leaves it nil so the hot probing paths
+	// stay allocation-free.
 	Path []topology.NodeID
 }
 
@@ -162,12 +164,26 @@ func (p *Plane) SetDown(node topology.NodeID, down bool) {
 func (p *Plane) IsDown(node topology.NodeID) bool { return p.down[node] }
 
 // Forward walks a packet from src toward dst through the current FIBs.
+// The walk does not record the traversed path (and therefore does not
+// allocate); use ForwardTrace when the hop list matters.
 func (p *Plane) Forward(src topology.NodeID, dst netip.Addr) ForwardResult {
+	return p.forward(src, dst, nil)
+}
+
+// ForwardTrace is Forward with the traversed path recorded in the result.
+func (p *Plane) ForwardTrace(src topology.NodeID, dst netip.Addr) ForwardResult {
+	return p.forward(src, dst, make([]topology.NodeID, 0, 8))
+}
+
+func (p *Plane) forward(src topology.NodeID, dst netip.Addr, path []topology.NodeID) ForwardResult {
 	p.m.forwards.Inc()
-	res := ForwardResult{Path: make([]topology.NodeID, 0, 8)}
+	record := path != nil
+	res := ForwardResult{Path: path}
 	cur := src
 	for hops := 0; hops <= MaxHops; hops++ {
-		res.Path = append(res.Path, cur)
+		if record {
+			res.Path = append(res.Path, cur)
+		}
 		if p.down[cur] {
 			res.Reason = DropNodeDown
 			p.m.dropped.Inc()
@@ -297,7 +313,7 @@ type Hop struct {
 // Traceroute walks a packet like Forward but reports per-hop cumulative
 // RTTs, the analogue of the measured paths Appendix C.1 reasons over.
 func (p *Plane) Traceroute(src topology.NodeID, dst netip.Addr) ([]Hop, ForwardResult) {
-	res := p.Forward(src, dst)
+	res := p.ForwardTrace(src, dst)
 	hops := make([]Hop, 0, len(res.Path))
 	var acc float64
 	for i, node := range res.Path {

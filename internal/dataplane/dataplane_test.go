@@ -55,7 +55,7 @@ func TestForwardDeliversToOrigin(t *testing.T) {
 	net.Originate(ids["s1"], prefixA, nil)
 	sim.Run()
 
-	res := plane.Forward(ids["c"], addrA)
+	res := plane.ForwardTrace(ids["c"], addrA)
 	if !res.Delivered || res.Dest != ids["s1"] {
 		t.Fatalf("Forward = %+v, want delivery at s1", res)
 	}

@@ -54,6 +54,18 @@ func (c *Capture) ByTarget() map[topology.NodeID][]CaptureEntry {
 // Len returns the number of captured replies.
 func (c *Capture) Len() int { return len(c.entries) }
 
+// Reserve grows the capture so at least n more entries can be added without
+// reallocating. Experiments that know their probe count up front use this to
+// avoid repeated log growth.
+func (c *Capture) Reserve(n int) {
+	if cap(c.entries)-len(c.entries) >= n {
+		return
+	}
+	grown := make([]CaptureEntry, len(c.entries), len(c.entries)+n)
+	copy(grown, c.entries)
+	c.entries = grown
+}
+
 // Prober issues Verfploeter-style echo requests: probes are sent from a
 // prober node with a spoofed source address inside the prefix under study,
 // so replies reveal which site that prefix currently routes to from each
@@ -77,6 +89,68 @@ type Prober struct {
 	// deterministic.
 	LossRate float64
 	seq      uint64
+
+	// freeFlights recycles in-flight echo payloads: the paper-scale runs
+	// emit hundreds of thousands of probes, and pooling them (together
+	// with netsim.AtCall) makes the request→reply→capture chain schedule
+	// without per-probe closure allocations.
+	freeFlights []*flight
+}
+
+// flight is the recycled payload of one echo exchange: it rides the
+// request-arrival event (runEcho) and, if the reply survives, the
+// reply-arrival event (runCapture).
+type flight struct {
+	p      *Prober
+	seq    uint64
+	target topology.NodeID
+	dest   topology.NodeID
+}
+
+func (p *Prober) newFlight() *flight {
+	if k := len(p.freeFlights); k > 0 {
+		f := p.freeFlights[k-1]
+		p.freeFlights = p.freeFlights[:k-1]
+		return f
+	}
+	return &flight{}
+}
+
+func (p *Prober) freeFlight(f *flight) {
+	*f = flight{}
+	p.freeFlights = append(p.freeFlights, f)
+}
+
+// runEcho fires when the request reaches the target: the target emits the
+// reply, which is routed by the FIBs as they stand at this moment.
+func runEcho(a any) {
+	f := a.(*flight)
+	p := f.p
+	sim := p.plane.sim
+	if p.LossRate > 0 && sim.Rand().Float64() < p.LossRate {
+		p.freeFlight(f)
+		return // reply lost (or rate-limited at the target)
+	}
+	res := p.plane.Forward(f.target, p.ReplyTo)
+	if !res.Delivered {
+		p.freeFlight(f)
+		return
+	}
+	f.dest = res.Dest
+	sim.AtCall(sim.Now()+res.Delay, runCapture, f)
+}
+
+// runCapture fires when the reply arrives at a capture point.
+func runCapture(a any) {
+	f := a.(*flight)
+	p := f.p
+	p.Capture.Add(CaptureEntry{
+		Time:   p.plane.sim.Now(),
+		Seq:    f.seq,
+		Target: f.target,
+		Site:   f.dest,
+	})
+	p.freeFlight(f)
 }
 
 // SentRecord logs one emitted echo request.
@@ -89,6 +163,18 @@ type SentRecord struct {
 // NewProber builds a prober bound to a plane.
 func NewProber(plane *Plane, from topology.NodeID, replyTo netip.Addr) *Prober {
 	return &Prober{plane: plane, From: from, ReplyTo: replyTo, Capture: &Capture{}}
+}
+
+// Reserve presizes the sent log and the capture for n further echo
+// requests, so a paper-scale probing campaign (hundreds of thousands of
+// pings) fills preallocated logs instead of growing them.
+func (p *Prober) Reserve(n int) {
+	if cap(p.Sent)-len(p.Sent) < n {
+		grown := make([]SentRecord, len(p.Sent), len(p.Sent)+n)
+		copy(grown, p.Sent)
+		p.Sent = grown
+	}
+	p.Capture.Reserve(n)
 }
 
 // Ping sends one echo request to target now. The request travels the stable
@@ -105,25 +191,9 @@ func (p *Prober) Ping(target topology.NodeID) uint64 {
 	if p.LossRate > 0 && sim.Rand().Float64() < p.LossRate {
 		return seq // request lost in flight
 	}
-	sim.After(fwd, func() {
-		// The target emits the reply; route it through the FIBs as they
-		// stand at this moment.
-		if p.LossRate > 0 && sim.Rand().Float64() < p.LossRate {
-			return // reply lost (or rate-limited at the target)
-		}
-		res := p.plane.Forward(target, p.ReplyTo)
-		if !res.Delivered {
-			return
-		}
-		sim.After(res.Delay, func() {
-			p.Capture.Add(CaptureEntry{
-				Time:   sim.Now(),
-				Seq:    seq,
-				Target: target,
-				Site:   res.Dest,
-			})
-		})
-	})
+	f := p.newFlight()
+	f.p, f.seq, f.target = p, seq, target
+	sim.AtCall(sim.Now()+fwd, runEcho, f)
 	return seq
 }
 

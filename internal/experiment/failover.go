@@ -223,6 +223,16 @@ func failoverOn(w *World, sel *Selection, tech core.Technique, failCode string, 
 	} else if _, err := w.CDN.FailSite(failCode); err != nil {
 		return nil, err
 	}
+	// The campaign's emission count is known exactly — every controllable
+	// target is pinged once per interval until the duration elapses — so
+	// presize the probe logs instead of growing them ping by ping.
+	if fc.ProbeInterval > 0 {
+		pings := int(fc.ProbeDuration / fc.ProbeInterval)
+		if float64(pings)*fc.ProbeInterval < fc.ProbeDuration {
+			pings++
+		}
+		prober.Reserve(pings * len(controllable))
+	}
 	for _, id := range controllable {
 		prober.PingEvery(id, fc.ProbeInterval, fc.ProbeDuration)
 	}

@@ -6,6 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"bestofboth/internal/obs"
 )
@@ -48,6 +51,57 @@ type Manifest struct {
 	// included — the manifest describes this invocation, not the abstract
 	// simulation).
 	Metrics []obs.MetricSnapshot `json:"metrics,omitempty"`
+	// Mem records the process memory footprint at write time; nil unless
+	// the caller asked for it (cdnsim fills it when -metrics is set).
+	Mem *MemFootprint `json:"mem,omitempty"`
+}
+
+// MemFootprint captures the memory cost of one invocation — the numbers
+// paper-scale runs need on record to argue the kernel scales.
+type MemFootprint struct {
+	// PeakRSSBytes is the process's high-water resident set (VmHWM),
+	// 0 where the OS does not expose it.
+	PeakRSSBytes uint64 `json:"peakRSSBytes"`
+	// TotalAllocBytes is the cumulative heap bytes allocated over the
+	// process lifetime (runtime.MemStats.TotalAlloc).
+	TotalAllocBytes uint64 `json:"totalAllocBytes"`
+	// Mallocs is the cumulative count of heap objects allocated.
+	Mallocs uint64 `json:"mallocs"`
+}
+
+// ReadMemFootprint samples the current process's memory footprint.
+func ReadMemFootprint() *MemFootprint {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &MemFootprint{
+		PeakRSSBytes:    peakRSSBytes(),
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+	}
+}
+
+// peakRSSBytes reads VmHWM from /proc/self/status; 0 on platforms or
+// failures where it is unavailable (the footprint is best-effort).
+func peakRSSBytes() uint64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
 }
 
 // NewManifest assembles a manifest for one invocation. reg may be nil.

@@ -82,6 +82,22 @@ func WithScale(f float64) Option {
 	}
 }
 
+// PaperScale is the topology multiplier of the paper-scale preset: ~4× the
+// default world (≈3,500 ASes), the regime where the zero-copy kernel's
+// savings dominate and Figure 2 sweeps 50K-target selections end-to-end.
+const PaperScale = 4.0
+
+// PaperTargetsPerSite is the per-site target-selection cap the paper's
+// evaluation uses (§5.1: ~50K /24s per failed site).
+const PaperTargetsPerSite = 50000
+
+// WithPaperScale applies the paper-scale preset topology. Callers that
+// honor the preset fully should also raise their selection cap to
+// PaperTargetsPerSite.
+func WithPaperScale() Option {
+	return WithScale(PaperScale)
+}
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a

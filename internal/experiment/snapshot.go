@@ -53,10 +53,13 @@ func (w *World) Snapshot() (*WorldSnapshot, error) {
 // RestoreWorld materializes an independent world from a snapshot: it builds
 // a fresh world from the snapshot's configuration (re-wiring all component
 // callbacks) and then overwrites the mutable state — clock, RNG position,
-// RIBs (replayed into the data plane), controller, zone, and archive — with
-// deep copies of the snapshot's. The result is bit-identical to the world
-// the snapshot was taken from and shares nothing mutable with it or with
-// sibling restores.
+// RIBs (replayed into the data plane), controller, zone, and archive — from
+// the snapshot's. Protocol state restores copy-on-write: the immutable
+// routes and origin policies are shared with the snapshot (and with sibling
+// restores) by pointer, and a restored world allocates new ones only where
+// it diverges after a fault. Everything mutable is copied, so the result is
+// bit-identical to the world the snapshot was taken from and observationally
+// isolated from it and from sibling restores.
 func RestoreWorld(snap *WorldSnapshot) (*World, error) {
 	w, err := NewWorld(snap.cfg)
 	if err != nil {

@@ -9,6 +9,13 @@
 // obviously correct. The paper's techniques use per-site /24s; they apply
 // identically to per-site /48s (§4), which is why both families are
 // first-class here.
+//
+// Nodes live in one contiguous slab per trie and link by int32 index rather
+// than pointer. The simulator rebuilds thousands of FIBs every time a
+// converged world is restored, so this matters twice over: inserting a
+// prefix costs amortized slice growth instead of one allocation per trie
+// node, and (for pointer-free value types, like FIB entries) the garbage
+// collector never scans the node slab at all.
 package iptrie
 
 import (
@@ -24,33 +31,51 @@ import (
 //
 // The zero value is not usable; call New.
 type Trie[V any] struct {
-	root4 *node[V]
-	root6 *node[V]
+	// nodes[root4] and nodes[root6] are the family roots. A child index of
+	// 0 means "no child": index 0 is the IPv4 root, which is never anyone's
+	// child, so it doubles as the nil sentinel.
+	nodes []node[V]
 	size  int
 }
 
 type node[V any] struct {
-	child [2]*node[V]
+	child [2]int32
 	val   V
 	set   bool
 }
 
+const (
+	root4 = int32(0)
+	root6 = int32(1)
+)
+
 // New returns an empty trie.
 func New[V any]() *Trie[V] {
-	return &Trie[V]{root4: &node[V]{}, root6: &node[V]{}}
+	return &Trie[V]{nodes: make([]node[V], 2, 64)}
+}
+
+// newNode appends a fresh node to the slab and returns its index. The
+// returned index stays valid across slab growth; node pointers do not, so
+// code must re-index t.nodes after any newNode call.
+func (t *Trie[V]) newNode() int32 {
+	t.nodes = append(t.nodes, node[V]{})
+	return int32(len(t.nodes) - 1)
 }
 
 // Len returns the number of prefixes stored.
 func (t *Trie[V]) Len() int { return t.size }
 
-// key extracts the address bytes, bit count, and family root selector.
-func (t *Trie[V]) rootFor(a netip.Addr) (*node[V], []byte, int) {
+// rootFor extracts the family root, address bytes, and bit count. The
+// address bytes are written into buf (caller stack space) so the returned
+// slice never forces a heap allocation.
+func (t *Trie[V]) rootFor(a netip.Addr, buf *[16]byte) (int32, []byte, int) {
 	if a.Is4() {
 		b := a.As4()
-		return t.root4, b[:], 32
+		copy(buf[:4], b[:])
+		return root4, buf[:4], 32
 	}
-	b := a.As16()
-	return t.root6, b[:], 128
+	*buf = a.As16()
+	return root6, buf[:], 128
 }
 
 func bitAt(b []byte, i int) int {
@@ -64,21 +89,25 @@ func (t *Trie[V]) Insert(p netip.Prefix, val V) error {
 		return fmt.Errorf("iptrie: invalid prefix %v", p)
 	}
 	p = p.Masked()
-	cur, bits, max := t.rootFor(p.Addr())
+	var buf [16]byte
+	cur, bits, max := t.rootFor(p.Addr(), &buf)
 	if p.Bits() > max {
 		return fmt.Errorf("iptrie: prefix %v too long", p)
 	}
 	for i := 0; i < p.Bits(); i++ {
 		b := bitAt(bits, i)
-		if cur.child[b] == nil {
-			cur.child[b] = &node[V]{}
+		next := t.nodes[cur].child[b]
+		if next == 0 {
+			next = t.newNode()
+			t.nodes[cur].child[b] = next
 		}
-		cur = cur.child[b]
+		cur = next
 	}
-	if !cur.set {
+	n := &t.nodes[cur]
+	if !n.set {
 		t.size++
 	}
-	cur.val, cur.set = val, true
+	n.val, n.set = val, true
 	return nil
 }
 
@@ -90,21 +119,23 @@ func (t *Trie[V]) Delete(p netip.Prefix) bool {
 		return false
 	}
 	p = p.Masked()
-	cur, bits, max := t.rootFor(p.Addr())
+	var buf [16]byte
+	cur, bits, max := t.rootFor(p.Addr(), &buf)
 	if p.Bits() > max {
 		return false
 	}
 	for i := 0; i < p.Bits(); i++ {
-		cur = cur.child[bitAt(bits, i)]
-		if cur == nil {
+		cur = t.nodes[cur].child[bitAt(bits, i)]
+		if cur == 0 {
 			return false
 		}
 	}
-	if !cur.set {
+	n := &t.nodes[cur]
+	if !n.set {
 		return false
 	}
 	var zero V
-	cur.val, cur.set = zero, false
+	n.val, n.set = zero, false
 	t.size--
 	return true
 }
@@ -116,20 +147,22 @@ func (t *Trie[V]) Get(p netip.Prefix) (V, bool) {
 		return zero, false
 	}
 	p = p.Masked()
-	cur, bits, max := t.rootFor(p.Addr())
+	var buf [16]byte
+	cur, bits, max := t.rootFor(p.Addr(), &buf)
 	if p.Bits() > max {
 		return zero, false
 	}
 	for i := 0; i < p.Bits(); i++ {
-		cur = cur.child[bitAt(bits, i)]
-		if cur == nil {
+		cur = t.nodes[cur].child[bitAt(bits, i)]
+		if cur == 0 {
 			return zero, false
 		}
 	}
-	if !cur.set {
+	n := &t.nodes[cur]
+	if !n.set {
 		return zero, false
 	}
-	return cur.val, true
+	return n.val, true
 }
 
 // Lookup performs a longest-prefix-match for addr within its address
@@ -143,19 +176,21 @@ func (t *Trie[V]) Lookup(addr netip.Addr) (netip.Prefix, V, bool) {
 	if !addr.IsValid() {
 		return netip.Prefix{}, zero, false
 	}
-	cur, bits, max := t.rootFor(addr)
+	var buf [16]byte
+	cur, bits, max := t.rootFor(addr, &buf)
 	for i := 0; ; i++ {
-		if cur.set {
-			bestVal, bestLen = cur.val, i
+		n := &t.nodes[cur]
+		if n.set {
+			bestVal, bestLen = n.val, i
 		}
 		if i == max {
 			break
 		}
 		b := bitAt(bits, i)
-		if cur.child[b] == nil {
+		if n.child[b] == 0 {
 			break
 		}
-		cur = cur.child[b]
+		cur = n.child[b]
 	}
 	if bestLen < 0 {
 		return netip.Prefix{}, zero, false
@@ -171,8 +206,10 @@ func (t *Trie[V]) Lookup(addr netip.Addr) (netip.Prefix, V, bool) {
 // family in ascending (address, length) order. If fn returns false, the
 // walk stops.
 func (t *Trie[V]) Walk(fn func(p netip.Prefix, val V) bool) {
-	walkFamily(t.root4, make([]byte, 4), 32, fn, makePrefix4)
-	walkFamily(t.root6, make([]byte, 16), 128, fn, makePrefix6)
+	if !t.walkFamily(root4, make([]byte, 4), 0, 32, fn, makePrefix4) {
+		return
+	}
+	t.walkFamily(root6, make([]byte, 16), 0, 128, fn, makePrefix6)
 }
 
 func makePrefix4(b []byte, depth int) netip.Prefix {
@@ -183,29 +220,29 @@ func makePrefix6(b []byte, depth int) netip.Prefix {
 	return netip.PrefixFrom(netip.AddrFrom16([16]byte(b)), depth)
 }
 
-func walkFamily[V any](root *node[V], bits []byte, max int, fn func(netip.Prefix, V) bool, mk func([]byte, int) netip.Prefix) bool {
-	var rec func(n *node[V], depth int) bool
-	rec = func(n *node[V], depth int) bool {
-		if n == nil {
-			return true
-		}
-		if n.set {
-			if !fn(mk(bits, depth), n.val) {
-				return false
-			}
-		}
-		if depth == max {
-			return true
-		}
-		if !rec(n.child[0], depth+1) {
+func (t *Trie[V]) walkFamily(n int32, bits []byte, depth, max int, fn func(netip.Prefix, V) bool, mk func([]byte, int) netip.Prefix) bool {
+	if t.nodes[n].set {
+		if !fn(mk(bits, depth), t.nodes[n].val) {
 			return false
 		}
-		bits[depth/8] |= 1 << (7 - depth%8)
-		ok := rec(n.child[1], depth+1)
-		bits[depth/8] &^= 1 << (7 - depth%8)
-		return ok
 	}
-	return rec(root, 0)
+	if depth == max {
+		return true
+	}
+	if c := t.nodes[n].child[0]; c != 0 {
+		if !t.walkFamily(c, bits, depth+1, max, fn, mk) {
+			return false
+		}
+	}
+	if c := t.nodes[n].child[1]; c != 0 {
+		bits[depth/8] |= 1 << (7 - depth%8)
+		ok := t.walkFamily(c, bits, depth+1, max, fn, mk)
+		bits[depth/8] &^= 1 << (7 - depth%8)
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // Prefixes returns all stored prefixes sorted by address then length

@@ -19,63 +19,216 @@ import (
 // Seconds is the unit of virtual time used throughout the simulator.
 type Seconds = float64
 
-// Event is a scheduled callback on the simulator's virtual clock.
+// Event is a scheduled callback on the simulator's virtual clock. Events
+// carry either a plain closure (fn) or a shared function plus argument
+// (afn, arg); the latter lets hot model paths recycle their payload structs
+// through free-lists instead of allocating a fresh closure per event (see
+// Sim.AtCall).
 type event struct {
 	at  Seconds
 	seq uint64
 	fn  func()
+	afn func(any)
+	arg any
 }
 
-// eventQueue is a binary min-heap of events ordered by (at, seq). Events are
-// stored by value: the heap is the hottest allocation site in the whole
-// simulator, and a value-based heap with hand-rolled sift operations avoids
-// both the per-event pointer allocation and the interface boxing of
-// container/heap.
-type eventQueue []event
-
-func (q eventQueue) less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (e *event) run() {
+	if e.afn != nil {
+		e.afn(e.arg)
+		return
 	}
-	return q[i].seq < q[j].seq
+	e.fn()
 }
+
+// Calendar-queue geometry. Near-future events dominate the schedule (MRAI
+// pacing, TCP-ordering nudges, probe ticks), so the queue keeps a calendar of
+// fixed-width buckets covering calHorizon seconds ahead of the most recent
+// rebase and spills everything further out into a small overflow heap. The
+// bucket width is a power of two so the slot computation is an exact,
+// monotone float scaling: a <= b always lands a in a bucket no later than b,
+// which is what keeps execution order identical to a single global heap.
+const (
+	calSlots    = 1024
+	calInvWidth = 16.0                           // buckets per second
+	calWidth    = 1.0 / calInvWidth              // seconds per bucket
+	calHorizon  = Seconds(calSlots) * calWidth   // 64 s
+	calSlotCap  = 4                              // pre-carved capacity per slot
+	farHeapCap  = 64                             // pre-allocated overflow heap
+)
+
+// eventQueue is a two-level calendar queue ordered by (at, seq).
+//
+// Level one ("near") is a flat array of calSlots buckets; slot i holds
+// events with at in [base + i*calWidth, base + (i+1)*calWidth), where base
+// is the time of the last rebase. cur is the first slot that may still hold
+// events; it only moves forward between rebases, so the array never wraps.
+// Level two ("far") is a conventional binary min-heap holding everything at
+// or beyond limit = base + calHorizon.
+//
+// Invariant: every near event is earlier than every far event (near events
+// are < limit, far events >= limit, and limit only changes on a rebase,
+// which happens when near is empty). pop therefore drains near completely
+// before consulting far. Within the active slot the minimum is found by a
+// linear scan with the exact (at, seq) comparator, so the execution order is
+// bit-identical to the old global binary heap.
+type eventQueue struct {
+	near  [][]event
+	cur   int     // first possibly non-empty slot
+	base  Seconds // start time of slot 0
+	limit Seconds // base + calHorizon; events at/after it go to far
+	nearN int
+	far   farHeap
+}
+
+func newEventQueue() eventQueue {
+	// One backing array, re-sliced per slot: slots keep their carved
+	// capacity across rebases, so the steady-state event path never
+	// allocates (pinned by TestEventPathZeroAllocs).
+	backing := make([]event, calSlots*calSlotCap)
+	near := make([][]event, calSlots)
+	for i := range near {
+		near[i] = backing[i*calSlotCap : i*calSlotCap : (i+1)*calSlotCap]
+	}
+	return eventQueue{
+		near:  near,
+		base:  0,
+		limit: calHorizon,
+		far:   make(farHeap, 0, farHeapCap),
+	}
+}
+
+func (q *eventQueue) len() int { return q.nearN + len(q.far) }
 
 func (q *eventQueue) push(e event) {
-	*q = append(*q, e)
-	h := *q
-	i := len(h) - 1
+	if e.at >= q.limit {
+		q.far.push(e)
+		return
+	}
+	idx := int((e.at - q.base) * calInvWidth)
+	// Clamp defensively: at can sit below base right after a peek-driven
+	// rebase (the clock has not caught up yet), and boundary rounding can
+	// land exactly on calSlots. Clamping only ever moves an event to an
+	// earlier slot, which the exact in-slot scan handles.
+	if idx < q.cur {
+		idx = q.cur
+	}
+	if idx >= calSlots {
+		idx = calSlots - 1
+	}
+	q.near[idx] = append(q.near[idx], e)
+	q.nearN++
+}
+
+// settle advances cur to the first non-empty slot, rebasing the calendar
+// from the overflow heap when the near level is exhausted. Returns false if
+// the queue is empty.
+func (q *eventQueue) settle() bool {
+	if q.nearN == 0 {
+		if len(q.far) == 0 {
+			return false
+		}
+		// Rebase: restart the calendar window at the earliest far event and
+		// migrate everything inside the new window down into the buckets.
+		q.cur = 0
+		q.base = q.far[0].at
+		q.limit = q.base + calHorizon
+		for len(q.far) > 0 && q.far[0].at < q.limit {
+			e := q.far.pop()
+			idx := int((e.at - q.base) * calInvWidth)
+			if idx >= calSlots {
+				idx = calSlots - 1
+			}
+			q.near[idx] = append(q.near[idx], e)
+			q.nearN++
+		}
+		return true
+	}
+	for len(q.near[q.cur]) == 0 {
+		q.cur++
+	}
+	return true
+}
+
+// minIdx returns the index of the earliest event in the active slot.
+func (q *eventQueue) minIdx() int {
+	slot := q.near[q.cur]
+	m := 0
+	for i := 1; i < len(slot); i++ {
+		if slot[i].at < slot[m].at || (slot[i].at == slot[m].at && slot[i].seq < slot[m].seq) {
+			m = i
+		}
+	}
+	return m
+}
+
+// peekAt returns the timestamp of the earliest pending event.
+func (q *eventQueue) peekAt() (Seconds, bool) {
+	if !q.settle() {
+		return 0, false
+	}
+	return q.near[q.cur][q.minIdx()].at, true
+}
+
+func (q *eventQueue) pop() event {
+	q.settle()
+	slot := q.near[q.cur]
+	m := q.minIdx()
+	e := slot[m]
+	last := len(slot) - 1
+	slot[m] = slot[last]
+	slot[last] = event{} // release callbacks for GC
+	q.near[q.cur] = slot[:last]
+	q.nearN--
+	return e
+}
+
+// farHeap is a binary min-heap of events ordered by (at, seq), holding the
+// overflow beyond the calendar horizon.
+type farHeap []event
+
+func (h farHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *farHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.less(i, parent) {
+		if !q.less(i, parent) {
 			break
 		}
-		h[i], h[parent] = h[parent], h[i]
+		q[i], q[parent] = q[parent], q[i]
 		i = parent
 	}
 }
 
-func (q *eventQueue) pop() event {
-	h := *q
-	top := h[0]
-	last := len(h) - 1
-	h[0] = h[last]
-	h[last] = event{} // release the callback for GC
-	h = h[:last]
-	*q = h
+func (h *farHeap) pop() event {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = event{} // release the callback for GC
+	q = q[:last]
+	*h = q
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < len(h) && h.less(l, small) {
+		if l < len(q) && q.less(l, small) {
 			small = l
 		}
-		if r < len(h) && h.less(r, small) {
+		if r < len(q) && q.less(r, small) {
 			small = r
 		}
 		if small == i {
 			break
 		}
-		h[i], h[small] = h[small], h[i]
+		q[i], q[small] = q[small], q[i]
 		i = small
 	}
 	return top
@@ -133,7 +286,7 @@ type Sim struct {
 // events produce identical executions.
 func New(seed int64) *Sim {
 	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
-	return &Sim{src: src, rng: rand.New(src)}
+	return &Sim{src: src, rng: rand.New(src), queue: newEventQueue()}
 }
 
 // Instrument attaches kernel metrics to r: events scheduled and executed,
@@ -161,26 +314,39 @@ func (s *Sim) Steps() uint64 { return s.nSteps }
 // draw all randomness from this source to preserve reproducibility.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
-// At schedules fn to run at absolute virtual time at. Scheduling in the past
-// panics: it always indicates a model bug and silently reordering events
-// would destroy determinism.
-func (s *Sim) At(at Seconds, fn func()) {
-	if at < s.now {
-		panic(fmt.Sprintf("netsim: scheduling event at %.6f before now %.6f", at, s.now))
+func (s *Sim) schedule(e event) {
+	if e.at < s.now {
+		panic(fmt.Sprintf("netsim: scheduling event at %.6f before now %.6f", e.at, s.now))
 	}
-	if math.IsNaN(at) || math.IsInf(at, 0) {
-		panic(fmt.Sprintf("netsim: invalid event time %v", at))
+	if math.IsNaN(e.at) || math.IsInf(e.at, 0) {
+		panic(fmt.Sprintf("netsim: invalid event time %v", e.at))
 	}
 	s.seq++
-	s.queue.push(event{at: at, seq: s.seq, fn: fn})
+	e.seq = s.seq
+	s.queue.push(e)
 	// All metric fields are set together by Instrument, so one nil check
 	// gates the whole group; Observe and SetMax do not inline, and the
 	// disabled path must not pay their call overhead.
 	if s.mScheduled != nil {
 		s.mScheduled.Inc()
-		s.mHorizon.Observe(at - s.now)
-		s.mQueueMax.SetMax(float64(len(s.queue)))
+		s.mHorizon.Observe(e.at - s.now)
+		s.mQueueMax.SetMax(float64(s.queue.len()))
 	}
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// panics: it always indicates a model bug and silently reordering events
+// would destroy determinism.
+func (s *Sim) At(at Seconds, fn func()) {
+	s.schedule(event{at: at, fn: fn})
+}
+
+// AtCall schedules fn(arg) at absolute virtual time at. Unlike At, the
+// callback and its payload are stored separately, so model code that fires
+// the same function with recycled argument structs (free-listed message
+// deliveries, pending-export timers) schedules without allocating a closure.
+func (s *Sim) AtCall(at Seconds, fn func(any), arg any) {
+	s.schedule(event{at: at, afn: fn, arg: arg})
 }
 
 // After schedules fn to run d seconds from the current virtual time.
@@ -202,12 +368,12 @@ func (s *Sim) Jitter(lo, hi Seconds) Seconds {
 }
 
 // Pending reports the number of events waiting to run.
-func (s *Sim) Pending() int { return len(s.queue) }
+func (s *Sim) Pending() int { return s.queue.len() }
 
 // Step executes the single earliest pending event and returns true, or
 // returns false if the queue is empty.
 func (s *Sim) Step() bool {
-	if len(s.queue) == 0 {
+	if s.queue.len() == 0 {
 		return false
 	}
 	e := s.queue.pop()
@@ -217,7 +383,7 @@ func (s *Sim) Step() bool {
 		s.mSteps.Inc()
 		s.mClockMax.SetMax(e.at)
 	}
-	e.fn()
+	e.run()
 	return true
 }
 
@@ -230,7 +396,11 @@ func (s *Sim) Run() {
 // RunUntil executes events with timestamps <= deadline and then advances the
 // clock to deadline. Events scheduled after deadline remain queued.
 func (s *Sim) RunUntil(deadline Seconds) {
-	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+	for {
+		at, ok := s.queue.peekAt()
+		if !ok || at > deadline {
+			break
+		}
 		s.Step()
 	}
 	if s.now < deadline {
@@ -256,8 +426,8 @@ type Snapshot struct {
 // Snapshot captures the current kernel state. It fails if events are
 // pending.
 func (s *Sim) Snapshot() (Snapshot, error) {
-	if len(s.queue) != 0 {
-		return Snapshot{}, fmt.Errorf("netsim: cannot snapshot with %d pending events", len(s.queue))
+	if s.queue.len() != 0 {
+		return Snapshot{}, fmt.Errorf("netsim: cannot snapshot with %d pending events", s.queue.len())
 	}
 	return Snapshot{Now: s.now, seq: s.seq, steps: s.nSteps, draws: s.src.draws}, nil
 }
@@ -269,8 +439,8 @@ func (s *Sim) Snapshot() (Snapshot, error) {
 // simulator produces the exact event timings and random draws the
 // snapshotted one would.
 func (s *Sim) Restore(snap Snapshot) error {
-	if len(s.queue) != 0 {
-		return fmt.Errorf("netsim: cannot restore with %d pending events", len(s.queue))
+	if s.queue.len() != 0 {
+		return fmt.Errorf("netsim: cannot restore with %d pending events", s.queue.len())
 	}
 	if s.src.draws > snap.draws {
 		return fmt.Errorf("netsim: restore target has consumed %d draws, snapshot has %d", s.src.draws, snap.draws)
@@ -287,20 +457,25 @@ func (s *Sim) Restore(snap Snapshot) error {
 
 // Timer is a cancellable scheduled event.
 type Timer struct {
-	stopped bool
+	fn func()
 }
 
 // AfterTimer schedules fn after d seconds and returns a handle that can stop
 // it. A stopped timer's callback never runs.
 func (s *Sim) AfterTimer(d Seconds, fn func()) *Timer {
-	t := &Timer{}
-	s.After(d, func() {
-		if !t.stopped {
-			fn()
-		}
-	})
+	t := &Timer{fn: fn}
+	s.After(d, t.fire)
 	return t
 }
 
+func (t *Timer) fire() {
+	if t.fn != nil {
+		t.fn()
+	}
+}
+
 // Stop prevents the timer's callback from running if it has not fired yet.
-func (t *Timer) Stop() { t.stopped = true }
+// The callback reference is dropped immediately, so whatever model state the
+// closure captured becomes collectable at stop time rather than being pinned
+// until the timer's original deadline.
+func (t *Timer) Stop() { t.fn = nil }

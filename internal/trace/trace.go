@@ -82,8 +82,8 @@ func Analyze(plane *dataplane.Plane, topo *topology.Topology, targets []topology
 	unicastAddr, anycastAddr netip.Addr, intended topology.NodeID) (*Result, error) {
 	res := &Result{}
 	for _, tgt := range targets {
-		uPath := plane.Forward(tgt, unicastAddr)
-		aPath := plane.Forward(tgt, anycastAddr)
+		uPath := plane.ForwardTrace(tgt, unicastAddr)
+		aPath := plane.ForwardTrace(tgt, anycastAddr)
 		if !uPath.Delivered || !aPath.Delivered {
 			continue // unmeasurable, like targets without Record-Route support
 		}
