@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet race race-full bench bench-baseline bench-smoke bench-json ci
+.PHONY: tier1 vet lint lint-vet govulncheck race race-full bench bench-baseline bench-smoke bench-json ci
 
 # Tier-1 gate: must stay green (see ROADMAP.md).
 tier1:
@@ -8,6 +8,37 @@ tier1:
 
 vet:
 	$(GO) vet ./...
+
+# Invariant lint: the cdnlint analyzer suite (internal/analysis) over the
+# whole tree. Exits non-zero on any unsuppressed diagnostic; see
+# DESIGN.md "Invariants" for the checks and the suppression syntax.
+lint:
+	$(GO) run ./cmd/cdnlint ./...
+
+# Same suite driven through go vet's -vettool protocol: exercises the
+# driver's second mode and vet's per-package caching.
+lint-vet:
+	$(GO) build -o bin/cdnlint ./cmd/cdnlint
+	$(GO) vet -vettool=bin/cdnlint ./...
+
+# Vulnerability scan, tolerant of offline environments: skips with a
+# warning when govulncheck is not installed or the vulnerability database
+# is unreachable, but fails hard when vulnerabilities are actually found
+# (govulncheck exit code 3).
+govulncheck:
+	@if ! command -v govulncheck >/dev/null 2>&1; then \
+		echo "govulncheck: not installed; skipping vulnerability scan" >&2; \
+		exit 0; \
+	fi; \
+	govulncheck ./...; code=$$?; \
+	if [ $$code -eq 0 ]; then \
+		exit 0; \
+	elif [ $$code -eq 3 ]; then \
+		echo "govulncheck: vulnerabilities found" >&2; exit 3; \
+	else \
+		echo "govulncheck: scan failed (exit $$code), likely unreachable vulnerability database; skipping" >&2; \
+		exit 0; \
+	fi
 
 # Race tier: vet + race detector on the short-mode matrix.
 race: vet
@@ -23,7 +54,7 @@ bench-smoke:
 	$(GO) test -bench 'BenchmarkFigure2(Metrics)?$$' -benchtime 1x -run '^$$' .
 
 # Everything CI runs (see .github/workflows/ci.yml).
-ci: tier1 vet race bench-smoke
+ci: tier1 vet lint race bench-smoke
 
 # Figure-2 + convergence benchmarks with allocation stats.
 bench:
@@ -39,8 +70,9 @@ bench-baseline:
 # pre-zero-copy baseline (bench/pr4_baseline.json). CI uploads the file as
 # an artifact so the perf trajectory is tracked from PR 4 onward.
 # The bench output is staged in a file so the converter's compilation never
-# competes with the benchmark for CPU.
+# competes with the benchmark for CPU; the trap removes it on every exit,
+# and set -e makes a failure of either step fail the target loudly.
 bench-json:
-	$(GO) test -bench 'Figure2$$|BGPConvergence$$' -benchtime 3x -benchmem -run '^$$' . > bench-out.tmp
-	$(GO) run ./cmd/benchjson -baseline bench/pr4_baseline.json -out BENCH_PR4.json < bench-out.tmp
-	@rm -f bench-out.tmp
+	@set -e; tmp=$$(mktemp bench-out.XXXXXX.tmp); trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) test -bench 'Figure2$$|BGPConvergence$$' -benchtime 3x -benchmem -run '^$$' . > "$$tmp"; \
+	$(GO) run ./cmd/benchjson -baseline bench/pr4_baseline.json -out BENCH_PR4.json < "$$tmp"

@@ -1,0 +1,317 @@
+// Command cdnlint runs the repo's invariant analyzers (internal/analysis)
+// over Go packages. It supports two modes:
+//
+// Standalone, loading packages through `go list -export`:
+//
+//	cdnlint ./...
+//	cdnlint -checks detrand,maporder ./internal/bgp
+//
+// and as a go vet tool, speaking vet's unpublished driver protocol
+// (-flags discovery plus per-package .cfg files):
+//
+//	go vet -vettool=$(which cdnlint) ./...
+//
+// Exit status: 0 clean, 1 diagnostics reported (2 in vet mode, matching
+// unitchecker), 3 operational failure.
+//
+// Check selection: -checks runs a named subset; subset runs disable the
+// stale-//lint:ignore report, since an ignore for a check that is not
+// running would look spuriously unused. Both modes analyze non-test Go
+// files only: test files may use wall clocks and allocate freely.
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"bestofboth/internal/analysis"
+)
+
+func main() {
+	flagV := flag.String("V", "", "print version and exit (vet tool protocol)")
+	flagFlags := flag.Bool("flags", false, "print flag descriptions in JSON and exit (vet tool protocol)")
+	flagChecks := flag.String("checks", "", "comma-separated checks to run (default: all)")
+	flagList := flag.Bool("list", false, "list available checks and exit")
+	flag.Parse()
+
+	switch {
+	case *flagV != "":
+		printVersion()
+		return
+	case *flagFlags:
+		printFlagsJSON()
+		return
+	case *flagList:
+		for _, a := range analysis.All() {
+			fmt.Printf("cdnlint/%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := analysis.Select(*flagChecks)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opts := analysis.Options{StaleCheck: *flagChecks == ""}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVet(args[0], analyzers, opts))
+	}
+	os.Exit(runStandalone(args, analyzers, opts))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cdnlint: "+format+"\n", args...)
+	os.Exit(3)
+}
+
+// printVersion answers `cdnlint -V=full`. The build ID must change when
+// the binary does, because go vet folds it into its action cache key.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("cdnlint version devel buildID=%x\n", h.Sum(nil)[:12])
+}
+
+// printFlagsJSON answers `cdnlint -flags`: go vet queries it to learn
+// which flags it may forward to the tool.
+func printFlagsJSON() {
+	type flagDesc struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	descs := []flagDesc{
+		{Name: "checks", Bool: false, Usage: "comma-separated checks to run (default: all)"},
+	}
+	out, err := json.Marshal(descs)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%s\n", out)
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// runStandalone loads the packages matching the patterns (default ./...)
+// with `go list -export -json -deps`, type-checks each target against
+// the export data of its dependencies, and reports diagnostics.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, opts analysis.Options) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"list", "-export", "-json", "-deps"}, patterns...)...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fatalf("go list -export: %v", err)
+	}
+
+	exports := map[string]string{}
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			fatalf("decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			fatalf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			tp := p
+			targets = append(targets, &tp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportDataImporter(fset, exports)
+	exit := 0
+	for _, p := range targets {
+		if len(p.CgoFiles) > 0 {
+			fmt.Fprintf(os.Stderr, "cdnlint: skipping %s: cgo packages are not supported\n", p.ImportPath)
+			continue
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		var files []string
+		for _, f := range p.GoFiles {
+			files = append(files, filepath.Join(p.Dir, f))
+		}
+		diags, err := analyze(fset, imp, p.ImportPath, files, analyzers, opts)
+		if err != nil {
+			fatalf("%s: %v", p.ImportPath, err)
+		}
+		for _, d := range diags {
+			fmt.Println(relativized(d).String())
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// relativized rewrites the diagnostic's path relative to the working
+// directory when that is shorter, matching go vet's presentation.
+func relativized(d analysis.Diagnostic) analysis.Diagnostic {
+	wd, err := os.Getwd()
+	if err != nil {
+		return d
+	}
+	rel, err := filepath.Rel(wd, d.Pos.Filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return d
+	}
+	d.Pos.Filename = rel
+	return d
+}
+
+// vetConfig mirrors the JSON config file go vet hands to -vettool
+// binaries (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID          string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet handles one `go vet -vettool=cdnlint` package invocation.
+func runVet(cfgPath string, analyzers []*analysis.Analyzer, opts analysis.Options) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing %s: %v", cfgPath, err)
+	}
+	// An empty vetx file keeps go vet's caching happy; cdnlint exports no
+	// cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Test augmentations (ID "pkg [pkg.test]") and test files are out of
+	// scope: the invariants bind simulation code, not its tests.
+	if strings.Contains(cfg.ID, " [") {
+		return 0
+	}
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	diags, err := analyze(fset, imp, cfg.ImportPath, files, analyzers, opts)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fatalf("%s: %v", cfg.ImportPath, err)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	if len(diags) > 0 {
+		return 2 // the exit code go vet expects for findings
+	}
+	return 0
+}
+
+// exportDataImporter resolves imports against the Export files collected
+// from go list, special-casing unsafe (which has no export data).
+func exportDataImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// analyze parses and type-checks one package's files and runs the
+// analyzers over it.
+func analyze(fset *token.FileSet, imp types.Importer, path string, filenames []string,
+	analyzers []*analysis.Analyzer, opts analysis.Options) ([]analysis.Diagnostic, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(&analysis.Package{Fset: fset, Files: files, Pkg: pkg, Info: info}, analyzers, opts), nil
+}

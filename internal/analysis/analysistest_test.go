@@ -1,0 +1,174 @@
+package analysis
+
+// Fixture harness: loads packages from testdata/src/<path>, type-checks
+// them with a self-contained importer (fixture dirs double as fake
+// stdlib packages — math/rand, time, fmt, ... — so no export data or
+// network is needed), runs analyzers, and compares diagnostics against
+// `// want` comments in the fixture source:
+//
+//	_ = time.Now() // want `time\.Now reads the wall clock`
+//
+// Each backtick-quoted regexp must match one diagnostic on the
+// comment's line; a numeric offset targets a nearby line instead
+// (`// want+1 ...` expects the finding one line below), which is how
+// fixtures assert on diagnostics positioned at //lint:ignore comments
+// that occupy the whole line themselves.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fixtureImporter type-checks fixture packages on demand, resolving
+// import paths relative to the testdata/src root.
+type fixtureImporter struct {
+	fset *token.FileSet
+	root string
+	pkgs map[string]*types.Package
+}
+
+func (l *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	p, _, _, err := l.load(path)
+	return p, err
+}
+
+func (l *fixtureImporter) load(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries { // ReadDir returns sorted entries
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no .go files in fixture %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
+	}
+	l.pkgs[path] = pkg
+	return pkg, files, info, nil
+}
+
+// loadFixture loads testdata/src/<path> as a fully type-checked Package.
+func loadFixture(t *testing.T, path string) *Package {
+	t.Helper()
+	l := &fixtureImporter{
+		fset: token.NewFileSet(),
+		root: filepath.Join("testdata", "src"),
+		pkgs: map[string]*types.Package{},
+	}
+	pkg, files, info, err := l.load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Fset: l.fset, Files: files, Pkg: pkg, Info: info}
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+var wantComment = regexp.MustCompile("^// want([+-][0-9]+)? ((?:\\s*`[^`]+`)+)\\s*$")
+var wantPattern = regexp.MustCompile("`([^`]+)`")
+
+func collectWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantComment.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				offset := 0
+				if m[1] != "" {
+					offset, _ = strconv.Atoi(m[1])
+				}
+				for _, pm := range wantPattern.FindAllStringSubmatch(m[2], -1) {
+					re, err := regexp.Compile(pm[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pm[1], err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line + offset, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads a fixture, runs the analyzers over it, and checks the
+// diagnostics against the fixture's want comments, returning the
+// diagnostics for any extra assertions.
+func runFixture(t *testing.T, path string, analyzers []*Analyzer, opts Options) []Diagnostic {
+	t.Helper()
+	pkg := loadFixture(t, path)
+	diags := Run(pkg, analyzers, opts)
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.met || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.String()) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	return diags
+}

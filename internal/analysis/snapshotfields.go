@@ -1,0 +1,365 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerSnapshotfields (cdnlint/snapshotfields) enforces snapshot
+// completeness: every field of a struct handled by a Snapshot/Restore
+// pair must be captured on the snapshot side AND reinstated on the
+// restore side. The converged-world reuse machinery depends on this —
+// a field silently skipped by Restore makes post-restore runs diverge
+// from fresh runs, the exact bug class TestSnapshotRestoreBitIdentical
+// exists to catch, except at compile time and per-field.
+//
+// Mechanics: the snapshot side is the set of functions whose name starts
+// with Snapshot/snapshot plus everything they call in-package; the
+// restore side likewise for Restore/restore. A struct type is checked
+// when both sides reference at least one of its fields. A field counts
+// as handled on a side if the side selects it by name, names it in a
+// composite literal, or copies the whole struct value (assignment,
+// argument, return, or ranging over a slice of it — `c := *r` handles
+// every field at once).
+//
+// Exemptions: fields whose type comes from the obs package (metrics are
+// re-registered, not restored), and fields annotated with a trailing
+//
+//	//cdnlint:nosnapshot <reason>
+//
+// comment for state that is deliberately outside the snapshot boundary
+// (immutable topology, wiring pointers, pools). The reason is mandatory.
+var AnalyzerSnapshotfields = &Analyzer{
+	Name: "snapshotfields",
+	Doc: "every field of a struct with a Snapshot/Restore pair must be handled by both sides, " +
+		"be obs-typed, or carry a //cdnlint:nosnapshot <reason> annotation",
+	Run: runSnapshotfields,
+}
+
+func runSnapshotfields(pass *Pass) {
+	decls := funcDecls(pass.Files)
+	declOf := map[types.Object]*ast.FuncDecl{}
+	for _, fd := range decls {
+		if obj := pass.Info.Defs[fd.Name]; obj != nil {
+			declOf[obj] = fd
+		}
+	}
+	snap := sideClosure(pass, decls, declOf, "snapshot")
+	rest := sideClosure(pass, decls, declOf, "restore")
+	if len(snap) == 0 || len(rest) == 0 {
+		return // no Snapshot/Restore pair in this package
+	}
+	snapRefs := collectSideRefs(pass, snap)
+	restRefs := collectSideRefs(pass, rest)
+
+	for _, name := range pass.Pkg.Scope().Names() {
+		tn, ok := pass.Pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || named.TypeParams().Len() > 0 {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		sf, rf := snapRefs[tn], restRefs[tn]
+		if sf == nil || rf == nil {
+			continue // not a snapshotted struct: at most one side touches it
+		}
+		astFields := structASTFields(pass.Files, name)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if isObsExempt(f.Type()) {
+				continue
+			}
+			af := astFields[f.Name()]
+			if af != nil {
+				if reason, annotated := fieldNosnapshot(af); annotated {
+					if reason == "" {
+						pass.Reportf(af.Pos(), "//cdnlint:nosnapshot on %s.%s is missing a reason: "+
+							"state excluded from snapshots must say why", name, f.Name())
+					}
+					continue
+				}
+			}
+			pos := tn.Pos()
+			if af != nil {
+				pos = af.Pos()
+			}
+			if !sf[f.Name()] {
+				pass.Reportf(pos, "field %s.%s is not captured by any snapshot-side function; "+
+					"snapshot it or annotate //cdnlint:nosnapshot with a reason", name, f.Name())
+			}
+			if !rf[f.Name()] {
+				pass.Reportf(pos, "field %s.%s is not reinstated by any restore-side function; "+
+					"restore it or annotate //cdnlint:nosnapshot with a reason", name, f.Name())
+			}
+		}
+	}
+}
+
+// sideClosure returns the functions whose lowercased name starts with
+// side, plus every in-package function reachable from them by direct
+// calls.
+func sideClosure(pass *Pass, decls []*ast.FuncDecl, declOf map[types.Object]*ast.FuncDecl, side string) []*ast.FuncDecl {
+	in := map[*ast.FuncDecl]bool{}
+	var queue []*ast.FuncDecl
+	for _, fd := range decls {
+		if strings.HasPrefix(strings.ToLower(fd.Name.Name), side) {
+			in[fd] = true
+			queue = append(queue, fd)
+		}
+	}
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			if callee, ok := declOf[fn]; ok && !in[callee] {
+				in[callee] = true
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+	out := make([]*ast.FuncDecl, 0, len(in))
+	for _, fd := range decls { // decls order keeps traversal deterministic
+		if in[fd] {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// collectSideRefs maps each in-package struct type to the set of its
+// field names the side handles, via selectors, composite literal keys,
+// and whole-value copies.
+func collectSideRefs(pass *Pass, fns []*ast.FuncDecl) map[*types.TypeName]map[string]bool {
+	refs := map[*types.TypeName]map[string]bool{}
+	markField := func(tn *types.TypeName, field string) {
+		if refs[tn] == nil {
+			refs[tn] = map[string]bool{}
+		}
+		refs[tn][field] = true
+	}
+	markAll := func(tn *types.TypeName) {
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		if refs[tn] == nil {
+			refs[tn] = map[string]bool{}
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			refs[tn][st.Field(i).Name()] = true
+		}
+	}
+	// wholeCopy marks all fields when e is a struct value (or a slice or
+	// array of struct values) of this package being copied.
+	wholeCopy := func(e ast.Expr) {
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.IsType() || tv.Type == nil {
+			return // type expressions (make's first argument) copy nothing
+		}
+		t := tv.Type
+		switch u := t.Underlying().(type) {
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		}
+		if tn := localStructName(pass.Pkg, t); tn != nil {
+			markAll(tn)
+		}
+	}
+
+	for _, fd := range fns {
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := pass.Info.Selections[e]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				if tn := localStructName(pass.Pkg, typeOf(pass.Info, e.X)); tn != nil {
+					markField(tn, e.Sel.Name)
+				}
+			case *ast.CompositeLit:
+				tn := localStructName(pass.Pkg, typeOf(pass.Info, e))
+				if tn == nil {
+					return true
+				}
+				keyed := false
+				for _, el := range e.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						keyed = true
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							markField(tn, id.Name)
+						}
+					}
+				}
+				if !keyed && len(e.Elts) > 0 {
+					markAll(tn) // positional literals must be exhaustive
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range e.Rhs {
+					wholeCopy(rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range e.Values {
+					wholeCopy(v)
+				}
+			case *ast.CallExpr:
+				for _, a := range e.Args {
+					wholeCopy(a)
+				}
+			case *ast.ReturnStmt:
+				for _, r := range e.Results {
+					wholeCopy(r)
+				}
+			case *ast.RangeStmt:
+				if e.Value != nil {
+					wholeCopy(e.Value) // ranging copies each element
+				}
+			}
+			return true
+		})
+	}
+	return refs
+}
+
+// localStructName resolves t (behind at most one pointer) to the type
+// name of a struct declared at package scope in pkg, or nil.
+func localStructName(pkg *types.Package, t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := n.Obj()
+	if obj.Pkg() != pkg || obj.Parent() != pkg.Scope() {
+		return nil
+	}
+	if _, ok := obj.Type().Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return obj
+}
+
+// isObsExempt reports whether a field type belongs to the obs metrics
+// layer: a named type from an obs package, or an inline struct whose
+// fields all are. Metrics are instrumentation registered at wiring time;
+// snapshots deliberately exclude them.
+func isObsExempt(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.Pointer:
+		t = u.Elem()
+	case *types.Array:
+		return isObsExempt(u.Elem())
+	case *types.Slice:
+		return isObsExempt(u.Elem())
+	}
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		return obj.Pkg() != nil && pkgPathHasSuffix(obj.Pkg().Path(), "obs")
+	}
+	if st, ok := t.(*types.Struct); ok && st.NumFields() > 0 {
+		for i := 0; i < st.NumFields(); i++ {
+			if !isObsExempt(st.Field(i).Type()) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// structASTFields finds the struct type declaration named typeName and
+// maps each field name (and embedded type name) to its *ast.Field, so
+// diagnostics land on the declaration and annotations can be read.
+func structASTFields(files []*ast.File, typeName string) map[string]*ast.Field {
+	out := map[string]*ast.Field{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != typeName {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					if len(fld.Names) == 0 {
+						if name := embeddedFieldName(fld.Type); name != "" {
+							out[name] = fld
+						}
+						continue
+					}
+					for _, id := range fld.Names {
+						out[id.Name] = fld
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// embeddedFieldName returns the implicit field name of an embedded type
+// expression.
+func embeddedFieldName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return embeddedFieldName(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	}
+	return ""
+}
+
+// fieldNosnapshot reports whether the field carries a
+// //cdnlint:nosnapshot annotation (in its doc or trailing comment) and
+// returns the stated reason.
+func fieldNosnapshot(f *ast.Field) (reason string, ok bool) {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if text, found := markerText(c.Text, "nosnapshot"); found {
+				return text, true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,53 @@
+// Package hot exercises cdnlint/allocfree: checks apply only inside
+// functions annotated //cdnlint:allocfree.
+package hot
+
+import "fmt"
+
+type msg struct{ id int }
+
+func sink(v any)        {}
+func sinkAll(vs ...any) {}
+
+// hotPath is a stand-in for the send/export fast path.
+//
+//cdnlint:allocfree
+func hotPath(m *msg, buf []int) []int {
+	f := func() {} // want `closure in //cdnlint:allocfree function hotPath`
+	f()
+	s := fmt.Sprintf("x%d", m.id) // want `fmt\.Sprintf in //cdnlint:allocfree function hotPath`
+	_ = s
+	mm := map[int]int{} // want `map literal in //cdnlint:allocfree function hotPath`
+	_ = mm
+	sl := []int{1, 2} // want `slice literal in //cdnlint:allocfree function hotPath`
+	_ = sl
+	var x any = *m // want `interface boxing of .*\.msg`
+	_ = x
+	sink(m)                 // pointers are interface-word-sized: no box
+	sink(*m)                // want `interface boxing of .*\.msg`
+	sinkAll(*m, m, nil)     // want `interface boxing of .*\.msg`
+	buf = append(buf, m.id) // append into an existing slice is budgeted, not banned
+	return buf
+}
+
+// coldExit shows the cold-path carve-out: formatting that feeds straight
+// into a return or panic never runs in the measured regime.
+//
+//cdnlint:allocfree
+func coldExit(id int) error {
+	if id < 0 {
+		panic(fmt.Sprintf("bad id %d", id)) // panic argument: allowed
+	}
+	if id > 1<<20 {
+		return fmt.Errorf("id %d out of range", id) // direct return: allowed
+	}
+	return nil
+}
+
+func unannotated(m *msg) {
+	_ = fmt.Sprintf("free %d", m.id) // no annotation, no checks
+	_ = func() {}
+	_ = map[int]int{}
+	var x any = *m
+	_ = x
+}

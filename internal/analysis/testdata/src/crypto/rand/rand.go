@@ -1,0 +1,6 @@
+// Package rand is a skeletal stand-in for crypto/rand.
+package rand
+
+var Reader any
+
+func Read(b []byte) (int, error) { return 0, nil }

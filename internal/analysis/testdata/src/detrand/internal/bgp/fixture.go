@@ -1,0 +1,37 @@
+// Package bgp exercises cdnlint/detrand inside a deterministic package
+// path (the import path ends in internal/bgp, so the analyzer is armed).
+package bgp
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+func globals() {
+	_ = rand.Intn(10)                  // want `global math/rand\.Intn`
+	_ = rand.Float64()                 // want `global math/rand\.Float64`
+	_ = rand.Perm(4)                   // want `global math/rand\.Perm`
+	rand.Shuffle(2, func(i, j int) {}) // want `global math/rand\.Shuffle`
+
+	var b []byte
+	_, _ = crand.Read(b) // want `crypto/rand\.Read is non-deterministic`
+	_ = crand.Reader     // want `crypto/rand\.Reader is non-deterministic`
+
+	_ = time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Second) // want `time\.Sleep reads the wall clock`
+	var t0 time.Time
+	_ = time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func seeded() {
+	r := rand.New(rand.NewSource(42)) // seeded constructors are the sanctioned path
+	_ = r.Intn(10)                    // methods on a seeded *Rand are fine
+	_ = r.Float64()
+	r.Shuffle(2, func(i, j int) {})
+
+	var t time.Time
+	_ = t.Add(time.Second) // pure value arithmetic, no clock read
+	var d time.Duration
+	_ = d
+}

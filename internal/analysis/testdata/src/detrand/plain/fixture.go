@@ -1,0 +1,15 @@
+// Package plain is outside the deterministic package list: wall-clock
+// reads and global rand are allowed here (runner progress reporting,
+// tooling).
+package plain
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()
+	_ = rand.Intn(10)
+	return time.Since(start)
+}

@@ -1,0 +1,13 @@
+// Package netsim is a skeletal stand-in for the simulator's event queue,
+// mirroring the scheduling method set maporder treats as order-sensitive
+// sinks.
+package netsim
+
+type Seconds = float64
+
+type Sim struct{}
+
+func (s *Sim) Now() Seconds                             { return 0 }
+func (s *Sim) At(at Seconds, fn func())                 {}
+func (s *Sim) AtCall(at Seconds, fn func(any), arg any) {}
+func (s *Sim) After(d Seconds, fn func())               {}

@@ -1,0 +1,22 @@
+// Package rand is a skeletal stand-in for math/rand, just enough surface
+// for fixtures to type-check without export data.
+package rand
+
+type Source interface{ Int63() int64 }
+
+func NewSource(seed int64) Source { return nil }
+
+func New(src Source) *Rand { return &Rand{} }
+
+type Rand struct{}
+
+func (r *Rand) Intn(n int) int                     { return 0 }
+func (r *Rand) Int63() int64                       { return 0 }
+func (r *Rand) Float64() float64                   { return 0 }
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {}
+
+func Int() int                           { return 0 }
+func Intn(n int) int                     { return 0 }
+func Float64() float64                   { return 0 }
+func Shuffle(n int, swap func(i, j int)) {}
+func Perm(n int) []int                   { return nil }

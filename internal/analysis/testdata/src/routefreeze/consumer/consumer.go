@@ -1,0 +1,13 @@
+// Package consumer exercises routefreeze across package boundaries: a
+// published *bgp.Route handed to another package is just as frozen.
+package consumer
+
+import "routefreeze/internal/bgp"
+
+func tamper(r *bgp.Route) {
+	r.LocalPref = 1 // want `write to field LocalPref of bgp\.Route`
+}
+
+func read(r *bgp.Route) int {
+	return r.LocalPref
+}

@@ -1,0 +1,8 @@
+// Package slices is a skeletal stand-in for slices. Constraints are
+// loosened to any: fixtures only need calls to resolve, not to enforce
+// ordering semantics.
+package slices
+
+func Sort[S ~[]E, E any](x S)                           {}
+func SortFunc[S ~[]E, E any](x S, cmp func(a, b E) int) {}
+func Clone[S ~[]E, E any](s S) S                        { return s }

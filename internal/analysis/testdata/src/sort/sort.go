@@ -1,0 +1,6 @@
+// Package sort is a skeletal stand-in for sort.
+package sort
+
+func Strings(x []string)                    {}
+func Ints(x []int)                          {}
+func Slice(x any, less func(i, j int) bool) {}

@@ -1,0 +1,50 @@
+// Package core exercises the //lint:ignore machinery against detrand
+// findings in a deterministic package path.
+package core
+
+import "time"
+
+func ownLine() {
+	//lint:ignore cdnlint/detrand startup banner, display only
+	_ = time.Now()
+}
+
+func trailing() {
+	_ = time.Now() //lint:ignore cdnlint/detrand same-line suppression works too
+}
+
+func missingReason() {
+	// want+1 `missing a reason`
+	//lint:ignore cdnlint/detrand
+	_ = time.Now()
+}
+
+func unknownCheck() {
+	// want+1 `unknown check cdnlint/nosuchcheck`
+	//lint:ignore cdnlint/nosuchcheck misspelled directive
+	_ = time.Now() // want `time\.Now reads the wall clock`
+}
+
+func stale() {
+	// want+1 `stale //lint:ignore cdnlint/detrand`
+	//lint:ignore cdnlint/detrand the finding this excused is long gone
+	x := 1
+	_ = x
+}
+
+func otherTool() {
+	// Directives for other linters are none of cdnlint's business — and
+	// they do not suppress cdnlint findings either.
+	//lint:ignore SA1019 staticcheck suppression
+	_ = time.Now() // want `time\.Now reads the wall clock`
+}
+
+func multiCheck(m map[string]int) []string {
+	var keys []string
+	//lint:ignore cdnlint/detrand,cdnlint/maporder seeding aside, order is rehashed downstream
+	_ = time.Now()
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside map iteration`
+	}
+	return keys
+}

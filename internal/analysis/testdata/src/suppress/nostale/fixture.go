@@ -1,0 +1,9 @@
+// Package nostale carries an unused suppression; with stale checking
+// disabled (the subset-run mode) it must produce no diagnostics at all.
+package nostale
+
+func quiet() int {
+	//lint:ignore cdnlint/detrand nothing here draws randomness anymore
+	x := 2
+	return x
+}

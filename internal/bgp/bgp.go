@@ -91,6 +91,8 @@ func (r *Route) LearnedFrom() int { return r.learnedFrom }
 // Clone returns a deep copy of r. The protocol hot paths no longer clone —
 // published routes are immutable and shared — but Clone remains for code
 // that wants a detached copy to build a modified route from.
+//
+//cdnlint:mutates-route the copy under construction is unpublished until returned
 func (r *Route) Clone() *Route {
 	c := *r
 	c.Path = slices.Clone(r.Path)
@@ -228,18 +230,18 @@ func DefaultConfig() Config {
 // simulation kernel.
 type Network struct {
 	sim      *netsim.Sim
-	topo     *topology.Topology
-	cfg      Config
+	topo     *topology.Topology //cdnlint:nosnapshot immutable wiring; restore targets a network built over the same topology
+	cfg      Config             //cdnlint:nosnapshot immutable wiring; restore targets a network built with the same config
 	speakers []*Speaker
-	onBest   []BestChangeFunc
+	onBest   []BestChangeFunc //cdnlint:nosnapshot subscriber wiring belongs to the target network, not the captured one
 
 	// intern deduplicates AS-path slices across all speakers; see intern.go.
-	intern pathIntern
+	intern pathIntern //cdnlint:nosnapshot cache: restore reseeds it from the snapshot's adj-RIB-out paths
 	// freeDeliv and freePend recycle the payload structs of the two
 	// hottest event kinds (update deliveries and MRAI pacing timers), so
 	// steady-state propagation schedules events without allocating.
-	freeDeliv []*delivery
-	freePend  []*pendingExport
+	freeDeliv []*delivery      //cdnlint:nosnapshot free-list pool; contents are semantically empty
+	freePend  []*pendingExport //cdnlint:nosnapshot free-list pool; contents are semantically empty
 
 	// MessageCount tallies UPDATE messages delivered, for ablation studies.
 	MessageCount uint64

@@ -226,13 +226,7 @@ func (s *Speaker) receive(sess int, u Update) {
 			// out identical (LocalPref and learnedFrom depend only on the
 			// session), so keep the existing one.
 		} else {
-			// The received route is shared with the sender's adj-RIB-out and
-			// immutable; shallow-copy the struct to hold the receiver-local
-			// fields. Path and Communities stay shared.
-			c := *r
-			c.LocalPref = importPref(s.node.Adj[sess].Rel)
-			c.learnedFrom = sess
-			st.in[sess] = &c
+			st.in[sess] = importCopy(r, importPref(s.node.Adj[sess].Rel), sess)
 		}
 	case Withdraw:
 		if st.in[sess] == nil {
@@ -252,6 +246,19 @@ func (s *Speaker) receive(sess int, u Update) {
 	}
 	s.recompute(u.Prefix, st)
 	s.exportAll(u.Prefix, st)
+}
+
+// importCopy builds the adj-RIB-in entry for a received route. The route is
+// shared with the sender's adj-RIB-out and immutable; the shallow struct
+// copy holds the receiver-local LocalPref and learnedFrom while Path and
+// Communities stay shared.
+//
+//cdnlint:mutates-route the copy is unpublished until returned
+func importCopy(r *Route, localPref, sess int) *Route {
+	c := *r
+	c.LocalPref = localPref
+	c.learnedFrom = sess
+	return &c
 }
 
 // better reports whether a should be preferred over b under the standard
@@ -511,6 +518,8 @@ func (s *Speaker) mraiInterval() netsim.Seconds {
 
 // send delivers an update to the neighbor on session sess after link and
 // processing delay.
+//
+//cdnlint:allocfree pinned by TestSendPathZeroAllocs
 func (s *Speaker) send(sess int, u Update) {
 	adj := s.node.Adj[sess]
 	peer := s.net.speakers[adj.To]

@@ -29,8 +29,8 @@ type Record struct {
 
 // Collector archives the update feeds of its peers.
 type Collector struct {
-	name    string
-	peers   []topology.NodeID
+	name    string            //cdnlint:nosnapshot construction-time identity, not archived state
+	peers   []topology.NodeID //cdnlint:nosnapshot session wiring; restore targets a collector attached to the same peers
 	archive []Record
 }
 

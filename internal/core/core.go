@@ -84,13 +84,12 @@ type announcement struct {
 // the BGP layer per the active technique, maintains the authoritative DNS
 // zone, and reacts to site failures.
 type CDN struct {
-	net   *bgp.Network
-	plane *dataplane.Plane
-	sim   *netsim.Sim
-	auth  *dns.Authoritative
-
-	sites  []*Site
-	byCode map[string]*Site
+	net    *bgp.Network     //cdnlint:nosnapshot wiring: the BGP layer snapshots itself (bgp.NetworkSnapshot)
+	plane  *dataplane.Plane //cdnlint:nosnapshot wiring: FIBs are rebuilt by the BGP restore's OnBestChange replay
+	sim    *netsim.Sim      //cdnlint:nosnapshot wiring: the kernel snapshots itself (netsim.Snapshot)
+	auth   *dns.Authoritative
+	sites  []*Site          //cdnlint:nosnapshot immutable site roster; restore requires an identically built CDN
+	byCode map[string]*Site //cdnlint:nosnapshot index over sites, rebuilt at construction
 
 	technique Technique
 	announced []announcement

@@ -19,13 +19,13 @@ import (
 // threaded.
 type Authoritative struct {
 	mu     sync.RWMutex
-	origin string
-	soa    SOA
-	ns     []string
+	origin string   //cdnlint:nosnapshot construction-time zone identity, untouched by RestoreZone
+	soa    SOA      //cdnlint:nosnapshot identity fields are construction-time; RestoreZone reinstates only Serial
+	ns     []string //cdnlint:nosnapshot construction-time zone identity, untouched by RestoreZone
 	a      map[string]aSet
 	aaaa   map[string]aSet
 	serial uint32
-	mapper MapFunc
+	mapper MapFunc //cdnlint:nosnapshot wiring: the steering policy is re-registered, not snapshotted
 	// QueryCount tallies answered queries for reporting.
 	QueryCount uint64
 	// ECSAnswered counts queries answered via the client-subnet mapper.

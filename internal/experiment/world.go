@@ -57,9 +57,9 @@ func (c *WorldConfig) fillDefaults() {
 type World struct {
 	Cfg       WorldConfig
 	Sim       *netsim.Sim
-	Topo      *topology.Topology
+	Topo      *topology.Topology //cdnlint:nosnapshot immutable after Build; identical worlds regenerate it from Cfg
 	Net       *bgp.Network
-	Plane     *dataplane.Plane
+	Plane     *dataplane.Plane //cdnlint:nosnapshot FIBs are rebuilt by the BGP restore's OnBestChange replay
 	CDN       *core.CDN
 	Collector *collector.Collector
 }

@@ -49,11 +49,11 @@ func (e *event) run() {
 // which is what keeps execution order identical to a single global heap.
 const (
 	calSlots    = 1024
-	calInvWidth = 16.0                           // buckets per second
-	calWidth    = 1.0 / calInvWidth              // seconds per bucket
-	calHorizon  = Seconds(calSlots) * calWidth   // 64 s
-	calSlotCap  = 4                              // pre-carved capacity per slot
-	farHeapCap  = 64                             // pre-allocated overflow heap
+	calInvWidth = 16.0                         // buckets per second
+	calWidth    = 1.0 / calInvWidth            // seconds per bucket
+	calHorizon  = Seconds(calSlots) * calWidth // 64 s
+	calSlotCap  = 4                            // pre-carved capacity per slot
+	farHeapCap  = 64                           // pre-allocated overflow heap
 )
 
 // eventQueue is a two-level calendar queue ordered by (at, seq).
@@ -72,10 +72,10 @@ const (
 // linear scan with the exact (at, seq) comparator, so the execution order is
 // bit-identical to the old global binary heap.
 type eventQueue struct {
-	near  [][]event
-	cur   int     // first possibly non-empty slot
-	base  Seconds // start time of slot 0
-	limit Seconds // base + calHorizon; events at/after it go to far
+	near  [][]event //cdnlint:nosnapshot snapshots require an empty queue; pending events hold closures over model state
+	cur   int       //cdnlint:nosnapshot calendar position; meaningless while the queue is empty
+	base  Seconds   //cdnlint:nosnapshot any value is valid: late pushes spill to far and settle rebases
+	limit Seconds   //cdnlint:nosnapshot any value is valid: late pushes spill to far and settle rebases
 	nearN int
 	far   farHeap
 }
@@ -239,7 +239,7 @@ func (h *farHeap) pop() event {
 // source seeded identically (see Snapshot/Restore). It delegates without
 // altering the draw sequence.
 type countingSource struct {
-	src   rand.Source64
+	src   rand.Source64 //cdnlint:nosnapshot reconstructed by reseeding and fast-forwarding draws on restore
 	draws uint64
 }
 
@@ -268,7 +268,7 @@ type Sim struct {
 	seq    uint64
 	queue  eventQueue
 	src    *countingSource
-	rng    *rand.Rand
+	rng    *rand.Rand //cdnlint:nosnapshot view over src, which restore reseeds and fast-forwards
 	nSteps uint64
 
 	// Metrics are nil until Instrument attaches a registry; all of the
@@ -314,6 +314,7 @@ func (s *Sim) Steps() uint64 { return s.nSteps }
 // draw all randomness from this source to preserve reproducibility.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
+//cdnlint:allocfree
 func (s *Sim) schedule(e event) {
 	if e.at < s.now {
 		panic(fmt.Sprintf("netsim: scheduling event at %.6f before now %.6f", e.at, s.now))
@@ -345,6 +346,8 @@ func (s *Sim) At(at Seconds, fn func()) {
 // callback and its payload are stored separately, so model code that fires
 // the same function with recycled argument structs (free-listed message
 // deliveries, pending-export timers) schedules without allocating a closure.
+//
+//cdnlint:allocfree
 func (s *Sim) AtCall(at Seconds, fn func(any), arg any) {
 	s.schedule(event{at: at, afn: fn, arg: arg})
 }
@@ -372,6 +375,8 @@ func (s *Sim) Pending() int { return s.queue.len() }
 
 // Step executes the single earliest pending event and returns true, or
 // returns false if the queue is empty.
+//
+//cdnlint:allocfree
 func (s *Sim) Step() bool {
 	if s.queue.len() == 0 {
 		return false

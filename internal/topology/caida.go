@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"net/netip"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -80,10 +81,16 @@ func ReadCAIDA(r io.Reader, seed int64) (*Topology, error) {
 	}
 
 	// Classify: ASes with customers are transits; pure leaves are stubs
-	// and get target prefixes.
+	// and get target prefixes. Iterate in sorted ASN order so prefix
+	// assignment does not depend on map iteration order.
+	asns := make([]ASN, 0, len(ids))
+	for asn := range ids {
+		asns = append(asns, asn)
+	}
+	slices.Sort(asns)
 	idx := 0
-	for asn, id := range ids {
-		n := b.t.Node(id)
+	for _, asn := range asns {
+		n := b.t.Node(ids[asn])
 		if hasCustomer[asn] {
 			n.Class = ClassTransit
 			continue
@@ -122,7 +129,15 @@ func AttachCDN(t *Topology, cdnASN ASN, sites map[string]ASN) (*Topology, error)
 	if cdnASN == 0 {
 		cdnASN = 47065
 	}
-	for code, providerASN := range sites {
+	// Sorted site order: node IDs (and with them BGP state layout) must
+	// not depend on map iteration order.
+	codes := make([]string, 0, len(sites))
+	for code := range sites {
+		codes = append(codes, code)
+	}
+	slices.Sort(codes)
+	for _, code := range codes {
+		providerASN := sites[code]
 		provIDs := t.NodesByASN(providerASN)
 		if len(provIDs) == 0 {
 			return nil, fmt.Errorf("topology: site %s references unknown provider AS %d", code, providerASN)
