@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet lint lint-vet govulncheck race race-full bench bench-baseline bench-smoke bench-json ci
+.PHONY: tier1 vet lint lint-vet govulncheck race race-full bench bench-baseline bench-smoke bench-json shard-equivalence ci
 
 # Tier-1 gate: must stay green (see ROADMAP.md).
 tier1:
@@ -64,15 +64,27 @@ bench:
 bench-baseline:
 	$(GO) test -bench 'Figure2|BGPConvergence' -benchmem -run '^$$' | tee bench-baseline.txt
 
-# Machine-readable benchmark record: re-runs the headline benchmarks and
-# writes BENCH_PR4.json with ns/op, allocs/op, and the headline custom
-# metrics per benchmark, plus percentage reductions against the committed
-# pre-zero-copy baseline (bench/pr4_baseline.json). CI uploads the file as
-# an artifact so the perf trajectory is tracked from PR 4 onward.
+# Machine-readable benchmark record: re-runs the headline benchmarks
+# (Figure2, BGPConvergence, and the sharded-convergence suite) and writes
+# BENCH_PR6.json with ns/op, allocs/op, procs, shard counts, and the
+# headline custom metrics per benchmark, plus percentage reductions against
+# the committed baseline (bench/pr6_baseline.json). CI uploads the file as
+# an artifact so the perf trajectory is tracked from PR 4 onward, and fails
+# on >10% ns/op regression of any shared benchmark or on a sub-2x sharded
+# convergence speedup (the speedup floor downgrades to a warning on
+# single-proc machines, which cannot exhibit parallel speedup).
 # The bench output is staged in a file so the converter's compilation never
 # competes with the benchmark for CPU; the trap removes it on every exit,
 # and set -e makes a failure of either step fail the target loudly.
 bench-json:
 	@set -e; tmp=$$(mktemp bench-out.XXXXXX.tmp); trap 'rm -f "$$tmp"' EXIT; \
-	$(GO) test -bench 'Figure2$$|BGPConvergence$$' -benchtime 3x -benchmem -run '^$$' . > "$$tmp"; \
-	$(GO) run ./cmd/benchjson -baseline bench/pr4_baseline.json -out BENCH_PR4.json < "$$tmp"
+	$(GO) test -bench 'Figure2$$|BGPConvergence$$|ConvergenceSharded$$|Figure2Sharded$$' -benchtime 3x -benchmem -run '^$$' . > "$$tmp"; \
+	$(GO) run ./cmd/benchjson -baseline bench/pr6_baseline.json -out BENCH_PR6.json \
+		-max-regression-pct 10 \
+		-min-metric 'ConvergenceSharded/shards=8:speedup-x:2' < "$$tmp"
+
+# Shard-equivalence gate: the digest tests proving shards=1 and shards=N
+# produce bit-identical route and FIB state, under the race detector (the
+# sharded runner's worker handoffs are exactly what -race scrutinizes).
+shard-equivalence:
+	$(GO) test -race -run 'TestSharded.*Equivalence|TestShardRunner' ./internal/experiment/ ./internal/netsim/

@@ -10,7 +10,9 @@
 package bestofboth_test
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"bestofboth/internal/bgp"
 	"bestofboth/internal/collector"
@@ -562,6 +564,92 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// shardBenchTopo generates the paper-scale topology (~3,500 ASes) shared by
+// the sharded-convergence benchmarks.
+func shardBenchTopo(b *testing.B) *topology.Topology {
+	b.Helper()
+	cfg := experiment.DefaultWorldConfig(experiment.WithPaperScale())
+	cfg.Topology.Seed = cfg.Seed
+	topo, err := topology.Cached(cfg.Topology)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return topo
+}
+
+// shardedConverge builds one BGP network over topo at the given shard count,
+// originates a deploy-like wave (every site announces its prefix at t=0),
+// and drains the simulation to convergence.
+func shardedConverge(b *testing.B, topo *topology.Topology, shards int, seed int64) {
+	b.Helper()
+	sim := netsim.New(seed)
+	var net *bgp.Network
+	if shards > 1 {
+		var err error
+		net, err = bgp.NewSharded(sim, topo, bgp.DefaultConfig(), shards, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	} else {
+		net = bgp.New(sim, topo, bgp.DefaultConfig())
+	}
+	for i, code := range topology.DefaultSiteCodes {
+		site := topo.NodeByName("cdn-" + code)
+		net.Originate(site.ID, core.SitePrefix(i), nil)
+	}
+	sim.Run()
+}
+
+// BenchmarkConvergenceSharded measures single-simulation BGP convergence at
+// paper scale across shard counts. The shards=8 sub-benchmark also times one
+// untimed shards=1 reference run and reports the wall-clock ratio as
+// speedup-x — a machine-independent metric cmd/benchjson gates on (≥2x).
+func BenchmarkConvergenceSharded(b *testing.B) {
+	topo := shardBenchTopo(b)
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var single float64
+			if shards == 8 {
+				t0 := time.Now()
+				shardedConverge(b, topo, 1, 977)
+				single = time.Since(t0).Seconds()
+			}
+			b.ResetTimer()
+			t0 := time.Now()
+			for i := 0; i < b.N; i++ {
+				shardedConverge(b, topo, shards, int64(i))
+			}
+			if shards == 8 {
+				perOp := time.Since(t0).Seconds() / float64(b.N)
+				b.ReportMetric(single/perOp, "speedup-x")
+			}
+		})
+	}
+}
+
+// BenchmarkFigure2Sharded runs the Figure 2 matrix on sharded worlds,
+// composing the experiment runner's worker pool with per-world shard
+// goroutines. The reduced bench topology is too small for sharding to pay
+// off; this pins the composition's overhead, while BenchmarkConvergenceSharded
+// carries the paper-scale speedup gate.
+func BenchmarkFigure2Sharded(b *testing.B) {
+	sel := getSelection(b)
+	for _, shards := range []int{2, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := benchConfig(1)
+			cfg.Shards = shards
+			r := &experiment.Runner{}
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Figure2(cfg, sel, benchFig2Techs, benchSites, benchFailover()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkScenarioRegionalOutage measures a full scenario-engine run: the

@@ -7,11 +7,24 @@
 //	go test -bench ... -benchmem | benchjson [-baseline base.json] [-out file.json]
 //
 // Every benchmark line becomes one record carrying ns/op, B/op, allocs/op,
-// and all custom metrics (the per-technique headline p50s the Figure 2
-// benchmark reports). With -baseline, the benchmarks of a previous benchjson
-// file are embedded verbatim and per-benchmark percentage reductions are
-// computed for ns/op and allocs/op, which is how BENCH_PR4.json records the
-// zero-copy kernel's gains against the pre-change tree.
+// all custom metrics (the per-technique headline p50s the Figure 2
+// benchmark reports), the GOMAXPROCS it ran under, and the shard count for
+// /shards=N sub-benchmarks. With -baseline, the benchmarks of a previous
+// benchjson file are embedded verbatim and per-benchmark percentage
+// reductions are computed for ns/op and allocs/op across every shared name
+// (Figure2, BGPConvergence, the sharded convergence benches, ...), which is
+// how BENCH_PR4.json records the zero-copy kernel's gains against the
+// pre-change tree.
+//
+// Two CI gates ride on the parsed numbers, both evaluated after the JSON is
+// written so failing runs still leave their evidence on disk:
+//
+//   - -max-regression-pct P fails the run when any benchmark shared with the
+//     baseline regressed more than P% in ns/op;
+//   - -min-metric Name:metric:floor (repeatable) fails the run when a custom
+//     metric falls below its floor — e.g. the ≥2x sharded-convergence
+//     speedup. Parallel-speedup floors are unprovable on one processor, so
+//     single-proc runs downgrade the gate to a warning.
 package main
 
 import (
@@ -32,6 +45,13 @@ type Benchmark struct {
 	BytesPerOp  float64            `json:"bytesPerOp,omitempty"`
 	AllocsPerOp float64            `json:"allocsPerOp,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	// Procs is the GOMAXPROCS the benchmark ran under (the -P name
+	// suffix; 1 when absent). Wall-clock parallelism gates consult it:
+	// a single-proc run cannot demonstrate a parallel speedup.
+	Procs int `json:"procs,omitempty"`
+	// Shards is the shard count parsed from a /shards=N sub-benchmark
+	// path segment; 0 for unsharded benchmarks.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Reduction is the improvement of a benchmark relative to the baseline, in
@@ -53,9 +73,24 @@ type File struct {
 	ReductionsVsBaselinePct map[string]Reduction `json:"reductionsVsBaselinePct,omitempty"`
 }
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "", "benchjson file whose benchmarks are embedded as the baseline")
 	outPath := flag.String("out", "", "output file (default stdout)")
+	maxRegression := flag.Float64("max-regression-pct", 0,
+		"with -baseline, exit nonzero if any shared benchmark's ns/op regressed by more than this percentage (0 disables)")
+	var minMetrics multiFlag
+	flag.Var(&minMetrics, "min-metric",
+		"Name:metric:floor — exit nonzero if the named benchmark's custom metric is below floor; repeatable. "+
+			"Skipped with a warning on single-proc runs, which cannot demonstrate parallel speedups.")
 	flag.Parse()
 
 	out, err := parse(os.Stdin)
@@ -80,12 +115,94 @@ func main() {
 	b = append(b, '\n')
 	if *outPath == "" {
 		os.Stdout.Write(b)
-		return
+	} else {
+		if err := os.WriteFile(*outPath, b, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
 	}
-	if err := os.WriteFile(*outPath, b, 0o644); err != nil {
-		fatal(err)
+
+	// Gates run after the document is written so a failing run still leaves
+	// its numbers on disk for forensics.
+	failed := false
+	if *maxRegression > 0 && *baselinePath != "" {
+		failed = checkRegressions(out, *maxRegression) || failed
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
+	for _, spec := range minMetrics {
+		failed = checkMinMetric(out.Benchmarks, spec) || failed
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkRegressions reports (and returns true on) any shared benchmark whose
+// ns/op regressed past the allowance. A negative reduction is a regression.
+func checkRegressions(out *File, allowPct float64) bool {
+	failed := false
+	for name, r := range out.ReductionsVsBaselinePct {
+		if r.NsPerOpPct < -allowPct {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s regressed %.2f%% in ns/op (allowance %.0f%%)\n",
+				name, -r.NsPerOpPct, allowPct)
+			failed = true
+		}
+	}
+	return failed
+}
+
+// checkMinMetric enforces one Name:metric:floor spec against the parsed
+// benchmarks. Gates on single-proc runs are skipped with a warning: they
+// exist to hold parallel speedups, which one processor cannot exhibit.
+func checkMinMetric(benchmarks []Benchmark, spec string) bool {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		fatal(fmt.Errorf("bad -min-metric %q, want Name:metric:floor", spec))
+	}
+	name, metric := parts[0], parts[1]
+	floor, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		fatal(fmt.Errorf("bad -min-metric floor in %q: %w", spec, err))
+	}
+	for _, b := range benchmarks {
+		if b.Name != name {
+			continue
+		}
+		v, ok := b.Metrics[metric]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s did not report metric %q\n", name, metric)
+			return true
+		}
+		if b.Procs < 2 {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping min-metric %s on single-proc run (%s=%.3f not gated)\n",
+				spec, metric, v)
+			return false
+		}
+		if v < floor {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s %s=%.3f below floor %.3f\n", name, metric, v, floor)
+			return true
+		}
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: FAIL min-metric %s: benchmark not found in output\n", spec)
+	return true
+}
+
+// shardsOf extracts the shard count from a /shards=N path segment, 0 when
+// absent.
+func shardsOf(name string) int {
+	i := strings.Index(name, "shards=")
+	if i < 0 {
+		return 0
+	}
+	rest := name[i+len("shards="):]
+	if j := strings.IndexByte(rest, '/'); j >= 0 {
+		rest = rest[:j]
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0
+	}
+	return n
 }
 
 func fatal(err error) {
@@ -141,17 +258,19 @@ func parseLine(line string) (Benchmark, error) {
 		return Benchmark{}, fmt.Errorf("malformed benchmark line: %q", line)
 	}
 	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 1
 	// Strip the -GOMAXPROCS suffix if present.
 	if i := strings.LastIndexByte(name, '-'); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
 			name = name[:i]
+			procs = p
 		}
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Benchmark{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
 	}
-	b := Benchmark{Name: name, Iterations: iters}
+	b := Benchmark{Name: name, Iterations: iters, Procs: procs, Shards: shardsOf(name)}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {

@@ -52,6 +52,7 @@ type options struct {
 	scale      string
 	scaleF     float64
 	paper      bool
+	shards     int
 	c1Site     string
 	ttl        uint
 	clients    int
@@ -73,7 +74,9 @@ func main() {
 	flag.IntVar(&opts.maxTargets, "probe-targets", 60, "max controllable targets probed per failover run")
 	flag.Float64Var(&opts.duration, "probe-duration", 600, "seconds of probing after a failure (§5.2)")
 	flag.StringVar(&opts.sites, "sites", strings.Join(topology.DefaultSiteCodes, ","), "comma-separated sites to fail")
-	flag.StringVar(&opts.scale, "scale", "1", `topology scale factor (1 ≈ 900 ASes), or "paper" (~4x topology, 50K-target selection)`)
+	flag.StringVar(&opts.scale, "scale", "1", `topology scale factor (1 ≈ 900 ASes), "paper" (~4x topology, 50K-target selection), or "internet" (~81x topology, ≈72K ASes; budget ~4 GiB and pair with -shards)`)
+	flag.IntVar(&opts.shards, "shards", 1,
+		"BGP shard simulators per world (1 = classic single kernel; converged route/FIB state is bit-identical at any shard count, transient timings follow shard-local jitter)")
 	flag.StringVar(&opts.c1Site, "c1-site", "sea1", "site analyzed by the c1 command")
 	flag.UintVar(&opts.ttl, "ttl", 600, "DNS record TTL for unicast-dns (seconds)")
 	flag.IntVar(&opts.clients, "clients", 2000, "client population for unicast-dns")
@@ -87,27 +90,30 @@ func main() {
 	flag.BoolVar(&opts.progress, "progress", false, "print live run progress to stderr")
 	flag.Parse()
 
-	if opts.scale == "paper" {
+	switch opts.scale {
+	case "paper":
 		// The paper-scale preset: ~4x topology and the paper's 50K-target
 		// selection cap (§5.1), unless -targets was given explicitly.
 		opts.paper = true
 		opts.scaleF = experiment.PaperScale
-		targetsSet := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "targets" {
-				targetsSet = true
-			}
-		})
-		if !targetsSet {
-			opts.targets = experiment.PaperTargetsPerSite
-		}
-	} else {
+		opts.applyPresetTargets()
+	case "internet":
+		// The internet-scale preset: ≈72K ASes, the order of today's
+		// announced AS count. Target selection keeps the paper's cap; see
+		// experiment.InternetScale for the memory budget.
+		opts.scaleF = experiment.InternetScale
+		opts.applyPresetTargets()
+	default:
 		f, err := strconv.ParseFloat(opts.scale, 64)
 		if err != nil || f <= 0 {
-			fmt.Fprintf(os.Stderr, "cdnsim: -scale must be a positive number or \"paper\", got %q\n", opts.scale)
+			fmt.Fprintf(os.Stderr, "cdnsim: -scale must be a positive number, \"paper\", or \"internet\", got %q\n", opts.scale)
 			os.Exit(2)
 		}
 		opts.scaleF = f
+	}
+	if opts.shards < 1 {
+		fmt.Fprintf(os.Stderr, "cdnsim: -shards must be >= 1, got %d\n", opts.shards)
+		os.Exit(2)
 	}
 
 	// The registry is always live: instrumentation is pure counting, never
@@ -143,10 +149,26 @@ func main() {
 	}
 }
 
+// applyPresetTargets raises the selection cap to the paper's 50K targets
+// per site for the named scale presets, unless -targets was given
+// explicitly.
+func (o *options) applyPresetTargets() {
+	targetsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "targets" {
+			targetsSet = true
+		}
+	})
+	if !targetsSet {
+		o.targets = experiment.PaperTargetsPerSite
+	}
+}
+
 func (o options) worldConfig() experiment.WorldConfig {
 	return experiment.DefaultWorldConfig(
 		experiment.WithSeed(o.seed),
 		experiment.WithScale(o.scaleF),
+		experiment.WithShards(o.shards),
 		experiment.WithWorkers(o.workers),
 		experiment.WithObs(o.reg),
 	)

@@ -229,22 +229,18 @@ func DefaultConfig() Config {
 // Network is the collection of all BGP speakers bound to a topology and a
 // simulation kernel.
 type Network struct {
-	sim      *netsim.Sim
+	sim      *netsim.Sim        // the control simulator (== shards[0].sim when unsharded)
 	topo     *topology.Topology //cdnlint:nosnapshot immutable wiring; restore targets a network built over the same topology
 	cfg      Config             //cdnlint:nosnapshot immutable wiring; restore targets a network built with the same config
 	speakers []*Speaker
 	onBest   []BestChangeFunc //cdnlint:nosnapshot subscriber wiring belongs to the target network, not the captured one
 
-	// intern deduplicates AS-path slices across all speakers; see intern.go.
-	intern pathIntern //cdnlint:nosnapshot cache: restore reseeds it from the snapshot's adj-RIB-out paths
-	// freeDeliv and freePend recycle the payload structs of the two
-	// hottest event kinds (update deliveries and MRAI pacing timers), so
-	// steady-state propagation schedules events without allocating.
-	freeDeliv []*delivery      //cdnlint:nosnapshot free-list pool; contents are semantically empty
-	freePend  []*pendingExport //cdnlint:nosnapshot free-list pool; contents are semantically empty
-
-	// MessageCount tallies UPDATE messages delivered, for ablation studies.
-	MessageCount uint64
+	// shards hold the per-shard kernels, intern tables, payload pools, and
+	// mailboxes; see shard.go. Unsharded networks have exactly one shard
+	// wrapping the control simulator.
+	shards []*shard
+	// runner coordinates barrier rounds across shards; nil when unsharded.
+	runner *netsim.ShardRunner //cdnlint:nosnapshot wiring: rebuilt with the network it drives
 
 	// Metrics are nil until Instrument attaches a registry; every update
 	// method is nil-receiver safe, so the uninstrumented hot path pays
@@ -258,15 +254,29 @@ type Network struct {
 		dampSupp     *obs.Counter
 		prefixStates *obs.Counter
 		adjIn        *obs.Gauge
+		xshard       *obs.Counter
+		xfeed        *obs.Counter
 	}
 }
 
-// New builds a Network with one speaker per topology node.
+// New builds a Network with one speaker per topology node, running entirely
+// on sim.
 func New(sim *netsim.Sim, topo *topology.Topology, cfg Config) *Network {
-	n := &Network{sim: sim, topo: topo, cfg: cfg, intern: newPathIntern()}
+	sh := &shard{idx: 0, sim: sim, intern: newPathIntern(), out: make([][]xmsg, 1)}
+	return build(sim, topo, cfg, []*shard{sh}, nil)
+}
+
+// build wires speakers to their shards. assign maps node ID to shard index;
+// nil assigns everything to shard 0.
+func build(sim *netsim.Sim, topo *topology.Topology, cfg Config, shards []*shard, assign []int) *Network {
+	n := &Network{sim: sim, topo: topo, cfg: cfg, shards: shards}
 	n.speakers = make([]*Speaker, topo.Len())
 	for _, node := range topo.Nodes {
-		n.speakers[node.ID] = newSpeaker(n, node)
+		sh := shards[0]
+		if assign != nil {
+			sh = shards[assign[node.ID]]
+		}
+		n.speakers[node.ID] = newSpeaker(n, sh, node)
 	}
 	for _, sp := range n.speakers {
 		sp.resolveReverse()
@@ -289,6 +299,28 @@ func (n *Network) Instrument(r *obs.Registry) {
 	n.m.dampSupp = r.Counter("bgp_damping_suppressions_total")
 	n.m.prefixStates = r.Counter("bgp_prefix_states_total")
 	n.m.adjIn = r.Gauge("bgp_adj_rib_in_entries")
+	if len(n.shards) > 1 {
+		// Inter-shard traffic volume, plus each shard kernel's own event
+		// metrics (shards share the registry, so the netsim_* counters
+		// aggregate across control and all shards).
+		n.m.xshard = r.Counter("bgp_intershard_updates_total")
+		n.m.xfeed = r.Counter("bgp_intershard_feed_updates_total")
+		for _, sh := range n.shards {
+			sh.sim.Instrument(r)
+		}
+		n.runner.Instrument(r)
+	}
+}
+
+// MessageCount tallies UPDATE messages delivered across all speakers, for
+// ablation studies. Each speaker counts its own deliveries (so shards never
+// contend on a shared counter); this sums them.
+func (n *Network) MessageCount() uint64 {
+	var total uint64
+	for _, sp := range n.speakers {
+		total += sp.msgCount
+	}
+	return total
 }
 
 // Sim returns the simulation kernel the network runs on.
@@ -346,10 +378,15 @@ func (n *Network) AttachFeed(peer topology.NodeID, fn FeedFunc) error {
 }
 
 // ConvergeSynchronously runs the simulation until no BGP events remain or
-// maxVirtual seconds elapse, returning the virtual time consumed.
+// maxVirtual seconds elapse, returning the virtual time consumed. On a
+// sharded network the drain runs barrier rounds across all shards.
 func (n *Network) ConvergeSynchronously(maxVirtual netsim.Seconds) netsim.Seconds {
 	start := n.sim.Now()
 	deadline := start + maxVirtual
+	if n.runner != nil {
+		n.runner.Drain(deadline)
+		return n.sim.Now() - start
+	}
 	for n.sim.Pending() > 0 && n.sim.Now() < deadline {
 		n.sim.Step()
 	}

@@ -402,7 +402,7 @@ func TestDeterministicConvergence(t *testing.T) {
 				fp += "-|"
 			}
 		}
-		return net.MessageCount, fp
+		return net.MessageCount(), fp
 	}
 	m1, f1 := run()
 	m2, f2 := run()
@@ -497,8 +497,8 @@ func TestWithdrawNonOriginatedIsNoop(t *testing.T) {
 	net := New(sim, topo, quickCfg())
 	net.Withdraw(1, testPrefix) // never originated
 	sim.Run()
-	if net.MessageCount != 0 {
-		t.Fatalf("no-op withdraw generated %d messages", net.MessageCount)
+	if net.MessageCount() != 0 {
+		t.Fatalf("no-op withdraw generated %d messages", net.MessageCount())
 	}
 }
 

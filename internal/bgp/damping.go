@@ -74,7 +74,7 @@ func (s *Speaker) flap(p *prefixState, sess int, cfg *DampingConfig) bool {
 		p.damp = make([]dampState, len(s.node.Adj))
 	}
 	d := &p.damp[sess]
-	now := s.net.sim.Now()
+	now := s.sh.sim.Now()
 	d.decayTo(now, cfg.HalfLife)
 	d.penalty += cfg.Penalty
 	s.net.m.dampFlaps.Inc()
@@ -96,7 +96,7 @@ func (s *Speaker) dampSuppressed(p *prefixState, sess int, cfg *DampingConfig) b
 	if !d.suppressed {
 		return false
 	}
-	d.decayTo(s.net.sim.Now(), cfg.HalfLife)
+	d.decayTo(s.sh.sim.Now(), cfg.HalfLife)
 	if d.penalty <= cfg.ReuseAt {
 		d.suppressed = false
 	}
@@ -112,7 +112,7 @@ func (s *Speaker) scheduleReuse(p *prefixState, sess int, cfg *DampingConfig) {
 	}
 	wait := cfg.HalfLife * math.Log2(d.penalty/cfg.ReuseAt)
 	prefix := p.prefix
-	s.net.sim.After(wait+0.001, func() {
+	s.sh.sim.After(wait+0.001, func() {
 		if !s.dampSuppressed(p, sess, cfg) {
 			// The route re-enters the decision process.
 			s.recompute(prefix, p)

@@ -83,14 +83,14 @@ func TestLinkRestoreReconvergesToPreFaultState(t *testing.T) {
 func TestSessionResetReconvergesToSameState(t *testing.T) {
 	sim, net := convergedDiamond(t)
 	before := net.RouteStateDigest()
-	msgs := net.MessageCount
+	msgs := net.MessageCount()
 
 	if err := net.ResetSession(3, 1); err != nil {
 		t.Fatal(err)
 	}
 	sim.Run()
 
-	if net.MessageCount == msgs {
+	if net.MessageCount() == msgs {
 		t.Fatal("session reset produced no update churn")
 	}
 	if got := net.RouteStateDigest(); got != before {

@@ -13,8 +13,8 @@ import (
 // Keys are the byte encoding of the path (4 bytes per ASN, little-endian),
 // built in a reusable scratch buffer; the map lookup via m[string(key)] is
 // recognized by the compiler and does not allocate, so interning an
-// already-known path is allocation-free. The table is per-Network and the
-// network is single-threaded (one Sim), so no locking is needed.
+// already-known path is allocation-free. The table is per-shard and each
+// shard runs single-threaded (one Sim), so no locking is needed.
 type pathIntern struct {
 	m   map[string][]topology.ASN
 	key []byte
@@ -105,9 +105,9 @@ type delivery struct {
 func runDelivery(a any) {
 	d := a.(*delivery)
 	peer, rev, epoch, u := d.peer, d.rev, d.epoch, d.u
-	n := peer.net
+	sh := peer.sh
 	*d = delivery{}
-	n.freeDeliv = append(n.freeDeliv, d)
+	sh.freeDeliv = append(sh.freeDeliv, d)
 	// A session reset or link failure while the update was in flight tears
 	// down the TCP connection it rode on; the update must never arrive.
 	if peer.sessEpoch[rev] != epoch {
@@ -128,29 +128,9 @@ type pendingExport struct {
 func runPendingExport(a any) {
 	pe := a.(*pendingExport)
 	s, st, sess := pe.s, pe.st, pe.sess
-	n := s.net
+	sh := s.sh
 	*pe = pendingExport{}
-	n.freePend = append(n.freePend, pe)
+	sh.freePend = append(sh.freePend, pe)
 	st.pending[sess] = false
 	s.export(st.prefix, st, sess)
-}
-
-//cdnlint:allocfree pool hit path; the miss allocates once per steady-state depth
-func (n *Network) newDelivery() *delivery {
-	if k := len(n.freeDeliv); k > 0 {
-		d := n.freeDeliv[k-1]
-		n.freeDeliv = n.freeDeliv[:k-1]
-		return d
-	}
-	return &delivery{}
-}
-
-//cdnlint:allocfree pool hit path; the miss allocates once per steady-state depth
-func (n *Network) newPendingExport() *pendingExport {
-	if k := len(n.freePend); k > 0 {
-		pe := n.freePend[k-1]
-		n.freePend = n.freePend[:k-1]
-		return pe
-	}
-	return &pendingExport{}
 }

@@ -28,11 +28,16 @@ import (
 // after capture and may be restored into any number of freshly built
 // networks, concurrently: restores only read the shared routes.
 type NetworkSnapshot struct {
-	messageCount uint64
-	speakers     []speakerSnapshot
+	// kernels capture each shard simulator's clock, sequence counter, and
+	// RNG position (one entry per shard; the unsharded single shard wraps
+	// the control simulator, whose kernel the world snapshot also carries —
+	// restoring it twice is idempotent).
+	kernels  []netsim.Snapshot
+	speakers []speakerSnapshot
 }
 
 type speakerSnapshot struct {
+	msgCount        uint64
 	lastDeliver     []netsim.Seconds
 	lastFeedDeliver netsim.Seconds
 	downSess        []bool
@@ -57,11 +62,19 @@ func (n *Network) Snapshot() (*NetworkSnapshot, error) {
 		return nil, fmt.Errorf("bgp: cannot snapshot with %d pending events", pending)
 	}
 	snap := &NetworkSnapshot{
-		messageCount: n.MessageCount,
-		speakers:     make([]speakerSnapshot, len(n.speakers)),
+		kernels:  make([]netsim.Snapshot, len(n.shards)),
+		speakers: make([]speakerSnapshot, len(n.speakers)),
+	}
+	for i, sh := range n.shards {
+		ks, err := sh.sim.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("bgp: shard %d kernel: %w", i, err)
+		}
+		snap.kernels[i] = ks
 	}
 	for i, sp := range n.speakers {
 		ss := speakerSnapshot{
+			msgCount:        sp.msgCount,
 			lastDeliver:     slices.Clone(sp.lastDeliver),
 			lastFeedDeliver: sp.lastFeedDeliver,
 			downSess:        slices.Clone(sp.downSess),
@@ -120,9 +133,17 @@ func (n *Network) Restore(snap *NetworkSnapshot) error {
 			return fmt.Errorf("bgp: speaker %d adjacency count mismatch", i)
 		}
 	}
-	n.MessageCount = snap.messageCount
+	if len(snap.kernels) != len(n.shards) {
+		return fmt.Errorf("bgp: snapshot has %d shard kernels, network has %d shards", len(snap.kernels), len(n.shards))
+	}
+	for i, sh := range n.shards {
+		if err := sh.sim.Restore(snap.kernels[i]); err != nil {
+			return fmt.Errorf("bgp: shard %d kernel: %w", i, err)
+		}
+	}
 	for i, ss := range snap.speakers {
 		sp := n.speakers[i]
+		sp.msgCount = ss.msgCount
 		copy(sp.lastDeliver, ss.lastDeliver)
 		sp.lastFeedDeliver = ss.lastFeedDeliver
 		copy(sp.downSess, ss.downSess)
@@ -171,7 +192,7 @@ func (n *Network) Restore(snap *NetworkSnapshot) error {
 			sp.sortedDirty = true
 			for _, r := range st.out {
 				if r != nil {
-					n.intern.seed(r.Path)
+					sp.sh.intern.seed(r.Path)
 				}
 			}
 			if st.best != nil {

@@ -47,8 +47,8 @@ func TestNetworkSnapshotRestoreEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if net2.MessageCount != net1.MessageCount {
-		t.Fatalf("restored MessageCount = %d, want %d", net2.MessageCount, net1.MessageCount)
+	if net2.MessageCount() != net1.MessageCount() {
+		t.Fatalf("restored MessageCount = %d, want %d", net2.MessageCount(), net1.MessageCount())
 	}
 	if bestReplays != 3 {
 		t.Fatalf("restore replayed %d best routes to OnBestChange, want 3", bestReplays)
@@ -80,8 +80,8 @@ func TestNetworkSnapshotRestoreEquivalence(t *testing.T) {
 		t.Fatalf("post-restore trajectories diverge: now %v/%v steps %d/%d",
 			sim1.Now(), sim2.Now(), sim1.Steps(), sim2.Steps())
 	}
-	if net1.MessageCount != net2.MessageCount {
-		t.Fatalf("post-restore MessageCount diverges: %d vs %d", net1.MessageCount, net2.MessageCount)
+	if net1.MessageCount() != net2.MessageCount() {
+		t.Fatalf("post-restore MessageCount diverges: %d vs %d", net1.MessageCount(), net2.MessageCount())
 	}
 	for id := topology.NodeID(0); id < 3; id++ {
 		if net2.Speaker(id).Best(testPrefix) != nil {

@@ -10,9 +10,17 @@ import (
 
 // Speaker is the BGP process of one topology node.
 type Speaker struct {
-	net   *Network
+	net *Network
+	// sh is the shard this speaker runs on: all of its events live on
+	// sh.sim, and its interned paths and pooled payloads come from sh.
+	// Unsharded networks have one shard wrapping the control simulator.
+	sh    *shard
 	node  *topology.Node
 	feeds []FeedFunc
+
+	// msgCount tallies UPDATE messages delivered to this speaker. Kept
+	// per-speaker so shards never contend; Network.MessageCount sums.
+	msgCount uint64
 
 	// reverse[i] is the session index by which node.Adj[i].To refers back
 	// to this speaker.
@@ -64,9 +72,10 @@ type prefixState struct {
 	damp        []dampState // allocated on first flap when damping is on
 }
 
-func newSpeaker(net *Network, node *topology.Node) *Speaker {
+func newSpeaker(net *Network, sh *shard, node *topology.Node) *Speaker {
 	return &Speaker{
 		net:         net,
+		sh:          sh,
 		node:        node,
 		reverse:     make([]int, len(node.Adj)),
 		lastDeliver: make([]netsim.Seconds, len(node.Adj)),
@@ -203,7 +212,7 @@ func importPref(rel topology.Rel) int {
 
 // receive processes an UPDATE delivered on session sess.
 func (s *Speaker) receive(sess int, u Update) {
-	s.net.MessageCount++
+	s.msgCount++
 	s.net.m.received.Inc()
 	st := s.state(u.Prefix)
 	hadIn := st.in[sess] != nil
@@ -341,12 +350,19 @@ func (s *Speaker) notifyFeeds(p netip.Prefix, best *Route) {
 	}
 	// Collector sessions see the update after a processing delay, like any
 	// other neighbor, but in sending order (the session is TCP).
-	at := s.net.sim.Now() + s.net.sim.Jitter(s.net.cfg.ProcMin, s.net.cfg.ProcMax)
+	at := s.sh.sim.Now() + s.sh.sim.Jitter(s.net.cfg.ProcMin, s.net.cfg.ProcMax)
 	if at <= s.lastFeedDeliver {
 		at = s.lastFeedDeliver + 1e-6
 	}
 	s.lastFeedDeliver = at
 	peer := s.node.ID
+	if s.net.runner != nil {
+		// Feed consumers live on the control simulator; buffer the delivery
+		// for the barrier merge. Its timestamp is at least one processing
+		// delay past the send, which is never before the control clock.
+		s.sh.feedOut = append(s.sh.feedOut, feedMsg{at: at, sp: s, peer: peer, u: u})
+		return
+	}
 	feeds := s.feeds
 	s.net.sim.At(at, func() {
 		for _, fn := range feeds {
@@ -393,7 +409,7 @@ func (s *Speaker) desiredExport(st *prefixState, sess int) (it exportIntent, ok 
 			prepend = np.Prepend
 		}
 		return exportIntent{
-			path:       s.net.intern.repeat(s.node.ASN, 1+prepend),
+			path:       s.sh.intern.repeat(s.node.ASN, 1+prepend),
 			comm:       pol.Communities,
 			med:        pol.MED,
 			originNode: s.node.ID,
@@ -423,7 +439,7 @@ func (s *Speaker) desiredExport(st *prefixState, sess int) (it exportIntent, ok 
 		return exportIntent{}, false
 	}
 	return exportIntent{
-		path:       s.net.intern.extend(s.node.ASN, best.Path),
+		path:       s.sh.intern.extend(s.node.ASN, best.Path),
 		comm:       best.Communities,
 		med:        0,
 		originNode: best.OriginNode,
@@ -478,7 +494,7 @@ func (s *Speaker) export(p netip.Prefix, st *prefixState, sess int) {
 	} else if st.out[sess] == nil {
 		return
 	}
-	now := s.net.sim.Now()
+	now := s.sh.sim.Now()
 	if !want && !s.net.cfg.PaceWithdrawals {
 		st.out[sess] = nil
 		s.send(sess, Update{Type: Withdraw, Prefix: p})
@@ -501,9 +517,9 @@ func (s *Speaker) export(p netip.Prefix, st *prefixState, sess int) {
 	}
 	if !st.pending[sess] {
 		st.pending[sess] = true
-		pe := s.net.newPendingExport()
+		pe := s.sh.newPendingExport()
 		pe.s, pe.st, pe.sess = s, st, sess
-		s.net.sim.AtCall(st.nextAllowed[sess], runPendingExport, pe)
+		s.sh.sim.AtCall(st.nextAllowed[sess], runPendingExport, pe)
 	}
 }
 
@@ -513,7 +529,7 @@ func (s *Speaker) mraiInterval() netsim.Seconds {
 		return 0
 	}
 	j := cfg.MRAIJitter
-	return cfg.MRAI * (1 + s.net.sim.Jitter(-j, j))
+	return cfg.MRAI * (1 + s.sh.sim.Jitter(-j, j))
 }
 
 // send delivers an update to the neighbor on session sess after link and
@@ -536,20 +552,27 @@ func (s *Speaker) send(sess int, u Update) {
 	// The route rides the wire as-is: it is published (stored in this
 	// speaker's adj-RIB-out) and therefore immutable, so the receiver can
 	// share it. No clone.
-	delay := adj.Delay + s.net.sim.Jitter(s.net.cfg.ProcMin, s.net.cfg.ProcMax)
-	at := s.net.sim.Now() + delay
+	delay := adj.Delay + s.sh.sim.Jitter(s.net.cfg.ProcMin, s.net.cfg.ProcMax)
+	at := s.sh.sim.Now() + delay
 	// Preserve TCP's in-order delivery on the session.
 	if at <= s.lastDeliver[sess] {
 		at = s.lastDeliver[sess] + 1e-6
 	}
 	s.lastDeliver[sess] = at
+	if peer.sh != s.sh {
+		// Cross-shard: buffer by value for the barrier merge. The delivery
+		// time carries at least the lookahead window of latency, so it lands
+		// strictly inside a later round on the destination shard.
+		s.sh.sendCross(at, peer, rev, u)
+		return
+	}
 	// The delivery payload captures the receiver-side session epoch: if the
 	// session is reset (or the link fails) while this update is in flight,
 	// the TCP connection it rode on is gone and the update must never be
 	// delivered (checked by runDelivery).
-	d := s.net.newDelivery()
+	d := s.sh.newDelivery()
 	d.peer, d.rev, d.epoch, d.u = peer, rev, peer.sessEpoch[rev], u
-	s.net.sim.AtCall(at, runDelivery, d)
+	s.sh.sim.AtCall(at, runDelivery, d)
 }
 
 // flushSession clears all per-session RIB state for sess — adj-RIB-in,

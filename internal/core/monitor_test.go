@@ -98,17 +98,17 @@ func TestReactToFailureIdempotentAndGuarded(t *testing.T) {
 	if err := w.cdn.ReactToFailure("ams"); err != nil {
 		t.Fatal(err)
 	}
-	msgs := w.net.MessageCount
+	msgs := w.net.MessageCount()
 	w.converge()
-	after := w.net.MessageCount
+	after := w.net.MessageCount()
 	// Second reaction is a no-op: no new announcements.
 	if err := w.cdn.ReactToFailure("ams"); err != nil {
 		t.Fatal(err)
 	}
 	w.converge()
-	if w.net.MessageCount != after {
+	if w.net.MessageCount() != after {
 		t.Fatalf("duplicate reaction generated traffic (%d -> %d, initial %d)",
-			after, w.net.MessageCount, msgs)
+			after, w.net.MessageCount(), msgs)
 	}
 }
 

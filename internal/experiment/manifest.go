@@ -16,7 +16,9 @@ import (
 // Digest is a stable hex fingerprint of the simulation-identity fields of
 // the configuration: two configs digest equally exactly when they build
 // bit-identical worlds. Workers and Obs take no part (they never affect
-// results), mirroring snapKey.
+// results), mirroring snapKey. Shards is included even though route state
+// is shard-count invariant: the manifest should say how a run was executed,
+// and world snapshots are only portable within one shard count.
 func (c WorldConfig) Digest() string {
 	cfg := c
 	cfg.fillDefaults()
@@ -26,8 +28,8 @@ func (c WorldConfig) Digest() string {
 	}
 	flat := cfg.BGP
 	flat.Damping = nil
-	canon := fmt.Sprintf("seed=%d topo=%+v bgp=%+v damp=%s cdn=%+v peers=%d",
-		cfg.Seed, cfg.Topology, flat, damp, cfg.CDN, cfg.CollectorPeers)
+	canon := fmt.Sprintf("seed=%d topo=%+v bgp=%+v damp=%s cdn=%+v peers=%d shards=%d",
+		cfg.Seed, cfg.Topology, flat, damp, cfg.CDN, cfg.CollectorPeers, maxInt(1, cfg.Shards))
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:])
 }

@@ -82,10 +82,36 @@ func WithScale(f float64) Option {
 	}
 }
 
+// WithShards splits each world's BGP speakers across n shard simulators
+// run in deterministic phase-barrier rounds (bgp.NewSharded). n <= 1 keeps
+// the classic single-kernel world. Converged route-state and FIB digests
+// are bit-identical at any shard count; transient message timing (and so
+// timing-derived figures) follows each shard's jitter stream. Every shard
+// count is individually deterministic: same seed + same shards ⇒
+// bit-identical everything.
+func WithShards(n int) Option {
+	return func(c *WorldConfig) { c.Shards = n }
+}
+
 // PaperScale is the topology multiplier of the paper-scale preset: ~4× the
 // default world (≈3,500 ASes), the regime where the zero-copy kernel's
 // savings dominate and Figure 2 sweeps 50K-target selections end-to-end.
 const PaperScale = 4.0
+
+// InternetScale is the topology multiplier of the internet-scale preset:
+// ≈81× the default world, ≈72K ASes — the order of today's announced AS
+// count. Worlds at this scale hold ~72K speakers' RIBs plus interned
+// paths; the recorded reference converge (TestInternetScaleConverge,
+// seed 42, shards=8) peaks at ~1.6 GiB resident with ~3.9 GiB total
+// allocated — budget ~4 GiB and pair the preset with -shards to keep
+// convergence wall-clock tolerable.
+const InternetScale = 81.0
+
+// WithInternetScale applies the internet-scale preset topology (see
+// InternetScale for the memory budget).
+func WithInternetScale() Option {
+	return WithScale(InternetScale)
+}
 
 // PaperTargetsPerSite is the per-site target-selection cap the paper's
 // evaluation uses (§5.1: ~50K /24s per failed site).

@@ -36,6 +36,13 @@ type WorldConfig struct {
 	// Workers bounds concurrent runs in Runner instances built from this
 	// config (see Runner()); <= 0 means GOMAXPROCS.
 	Workers int
+	// Shards splits the BGP speakers of each world across this many shard
+	// simulators run in deterministic phase-barrier rounds (see bgp.NewSharded).
+	// <= 1 means the classic single-kernel world. Converged digests are
+	// bit-identical at any shard count, but transient message timing follows
+	// shard-local jitter streams, so Shards is a simulation-identity field
+	// and participates in the config digest.
+	Shards int
 	// Obs, when non-nil, instruments every layer of worlds built from this
 	// config. It takes no part in simulation identity: snapKey ignores it,
 	// and snapshots strip it.
@@ -76,7 +83,15 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		return nil, fmt.Errorf("experiment: generating topology: %w", err)
 	}
 	sim := netsim.New(cfg.Seed)
-	net := bgp.New(sim, topo, cfg.BGP)
+	var net *bgp.Network
+	if cfg.Shards > 1 {
+		net, err = bgp.NewSharded(sim, topo, cfg.BGP, cfg.Shards, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: sharding BGP: %w", err)
+		}
+	} else {
+		net = bgp.New(sim, topo, cfg.BGP)
+	}
 	plane := dataplane.New(net)
 	cdn, err := core.New(net, plane, cfg.CDN)
 	if err != nil {

@@ -271,6 +271,12 @@ type Sim struct {
 	rng    *rand.Rand //cdnlint:nosnapshot view over src, which restore reseeds and fast-forwards
 	nSteps uint64
 
+	// driver, when non-nil, coordinates this simulator as the facade of a
+	// multi-simulator group: Run, RunUntil, and Pending delegate to it so
+	// existing call sites drive the whole group transparently (see
+	// ShardRunner).
+	driver Driver //cdnlint:nosnapshot wiring: drivers are re-attached when the world is rebuilt
+
 	// Metrics are nil until Instrument attaches a registry; all of the
 	// methods below no-op on nil receivers, so the uninstrumented event
 	// path stays allocation-free (pinned by TestEventPathZeroAllocs).
@@ -370,8 +376,24 @@ func (s *Sim) Jitter(lo, hi Seconds) Seconds {
 	return lo + s.rng.Float64()*(hi-lo)
 }
 
-// Pending reports the number of events waiting to run.
-func (s *Sim) Pending() int { return s.queue.len() }
+// SetDriver attaches (or, with nil, detaches) a Driver. While attached, Run,
+// RunUntil, and Pending delegate to the driver, which is expected to advance
+// this simulator as part of its group. Step stays local: drivers use it (via
+// the unexported locals) to advance members without recursing.
+func (s *Sim) SetDriver(d Driver) { s.driver = d }
+
+// Pending reports the number of events waiting to run. With a driver
+// attached it reports the whole group's pending work.
+func (s *Sim) Pending() int {
+	if s.driver != nil {
+		return s.driver.Pending()
+	}
+	return s.queue.len()
+}
+
+// pendingLocal reports only this simulator's queued events, ignoring any
+// attached driver.
+func (s *Sim) pendingLocal() int { return s.queue.len() }
 
 // Step executes the single earliest pending event and returns true, or
 // returns false if the queue is empty.
@@ -392,15 +414,33 @@ func (s *Sim) Step() bool {
 	return true
 }
 
-// Run executes events until the queue is empty.
+// Run executes events until the queue is empty. With a driver attached it
+// runs the whole group to completion.
 func (s *Sim) Run() {
+	if s.driver != nil {
+		s.driver.Run()
+		return
+	}
+	s.runLocal()
+}
+
+func (s *Sim) runLocal() {
 	for s.Step() {
 	}
 }
 
 // RunUntil executes events with timestamps <= deadline and then advances the
-// clock to deadline. Events scheduled after deadline remain queued.
+// clock to deadline. Events scheduled after deadline remain queued. With a
+// driver attached it advances the whole group to deadline.
 func (s *Sim) RunUntil(deadline Seconds) {
+	if s.driver != nil {
+		s.driver.RunUntil(deadline)
+		return
+	}
+	s.runUntilLocal(deadline)
+}
+
+func (s *Sim) runUntilLocal(deadline Seconds) {
 	for {
 		at, ok := s.queue.peekAt()
 		if !ok || at > deadline {

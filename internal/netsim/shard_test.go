@@ -1,0 +1,229 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// testExchanger is a minimal model layer for runner tests: cross-shard
+// messages are closures buffered per destination shard, merged at barriers
+// in (source shard, sequence) order like the real BGP exchange.
+type testExchanger struct {
+	shards []*Sim
+	// boxes[src][dst] holds messages buffered by shard src for shard dst.
+	boxes [][][]testMsg
+}
+
+type testMsg struct {
+	at Seconds
+	fn func()
+}
+
+func newTestExchanger(shards []*Sim) *testExchanger {
+	e := &testExchanger{shards: shards, boxes: make([][][]testMsg, len(shards))}
+	for i := range e.boxes {
+		e.boxes[i] = make([][]testMsg, len(shards))
+	}
+	return e
+}
+
+func (e *testExchanger) send(src, dst int, at Seconds, fn func()) {
+	e.boxes[src][dst] = append(e.boxes[src][dst], testMsg{at: at, fn: fn})
+}
+
+func (e *testExchanger) MailboxPending() int {
+	n := 0
+	for _, row := range e.boxes {
+		for _, box := range row {
+			n += len(box)
+		}
+	}
+	return n
+}
+
+func (e *testExchanger) Merge() {
+	for src := range e.boxes {
+		for dst, box := range e.boxes[src] {
+			for _, m := range box {
+				e.shards[dst].At(m.at, m.fn)
+			}
+			e.boxes[src][dst] = e.boxes[src][dst][:0]
+		}
+	}
+}
+
+func shardGroup(t *testing.T, n int, window Seconds) (*Sim, []*Sim, *testExchanger, *ShardRunner) {
+	t.Helper()
+	control := New(1)
+	shards := make([]*Sim, n)
+	for i := range shards {
+		shards[i] = New(int64(100 + i))
+	}
+	exch := newTestExchanger(shards)
+	r, err := NewShardRunner(control, shards, window, exch)
+	if err != nil {
+		t.Fatalf("NewShardRunner: %v", err)
+	}
+	return control, shards, exch, r
+}
+
+// TestShardRunnerLockstepAtControlEvents checks the core barrier invariant:
+// a control event executes with every shard clock parked exactly at its
+// timestamp, and all clocks land on the RunUntil deadline.
+func TestShardRunnerLockstepAtControlEvents(t *testing.T) {
+	control, shards, _, _ := shardGroup(t, 3, 1.0)
+
+	// Keep the shards busy around the control events so windows would
+	// otherwise stride past them.
+	for i, sh := range shards {
+		sh := sh
+		for k := 0; k < 40; k++ {
+			at := 0.05 * Seconds(k+i+1)
+			sh.At(at, func() {})
+		}
+	}
+
+	var got [][]Seconds
+	for _, tc := range []Seconds{0.42, 0.77, 1.3} {
+		tc := tc
+		control.At(tc, func() {
+			clocks := []Seconds{control.Now()}
+			for _, sh := range shards {
+				clocks = append(clocks, sh.Now())
+			}
+			got = append(got, clocks)
+		})
+	}
+
+	control.RunUntil(5)
+
+	want := [][]Seconds{
+		{0.42, 0.42, 0.42, 0.42},
+		{0.77, 0.77, 0.77, 0.77},
+		{1.3, 1.3, 1.3, 1.3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("control events did not see lockstep clocks:\n got %v\nwant %v", got, want)
+	}
+	if control.Now() != 5 {
+		t.Fatalf("control clock = %v, want 5", control.Now())
+	}
+	for i, sh := range shards {
+		if sh.Now() != 5 {
+			t.Fatalf("shard %d clock = %v, want 5", i, sh.Now())
+		}
+	}
+	if control.Pending() != 0 {
+		t.Fatalf("Pending = %d after full drain", control.Pending())
+	}
+}
+
+// TestShardRunnerCrossShardOrdering checks that cross-shard messages with
+// tied timestamps are delivered in (source shard, send sequence) order —
+// the exchanger merges shard by shard and each destination kernel breaks
+// timestamp ties by scheduling sequence.
+func TestShardRunnerCrossShardOrdering(t *testing.T) {
+	run := func() []string {
+		control := New(1)
+		shards := []*Sim{New(100), New(101), New(102)}
+		exch := newTestExchanger(shards)
+		if _, err := NewShardRunner(control, shards, 1.0, exch); err != nil {
+			t.Fatalf("NewShardRunner: %v", err)
+		}
+
+		var log []string
+		// Shards 1 and 2 both message shard 0 with the same arrival time;
+		// each sends two messages. Sends happen inside round events so they
+		// are buffered concurrently and merged at one barrier.
+		for src := 1; src <= 2; src++ {
+			src := src
+			shards[src].At(0.1, func() {
+				for k := 0; k < 2; k++ {
+					src, k := src, k
+					exch.send(src, 0, 2.5, func() {
+						log = append(log, fmt.Sprintf("src%d-msg%d@%g", src, k, shards[0].Now()))
+					})
+				}
+			})
+		}
+		control.RunUntil(10)
+		return log
+	}
+
+	got := run()
+	want := []string{
+		"src1-msg0@2.5", "src1-msg1@2.5",
+		"src2-msg0@2.5", "src2-msg1@2.5",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge order:\n got %v\nwant %v", got, want)
+	}
+	// Determinism: an identical run produces the identical log.
+	if again := run(); !reflect.DeepEqual(again, got) {
+		t.Fatalf("second run diverged:\n got %v\nwant %v", again, got)
+	}
+}
+
+// TestShardRunnerPendingCountsMailboxes checks that the driver's Pending
+// aggregates queued events on every member plus unmerged mailbox traffic,
+// all visible through the facade Sim.
+func TestShardRunnerPendingCountsMailboxes(t *testing.T) {
+	control, shards, exch, _ := shardGroup(t, 2, 1.0)
+
+	control.At(1, func() {})
+	shards[0].At(2, func() {})
+	shards[1].At(3, func() {})
+	exch.send(0, 1, 4, func() {})
+
+	if got := control.Pending(); got != 4 {
+		t.Fatalf("Pending = %d, want 4 (1 control + 2 shard + 1 mailbox)", got)
+	}
+	control.Run()
+	if got := control.Pending(); got != 0 {
+		t.Fatalf("Pending after Run = %d, want 0", got)
+	}
+}
+
+// TestShardRunnerDrainStopsAtBarrier checks Drain's converge semantics:
+// events at or before the deadline execute, later events stay queued, and
+// clocks rest at the last barrier instead of the deadline.
+func TestShardRunnerDrainStopsAtBarrier(t *testing.T) {
+	control, shards, _, r := shardGroup(t, 2, 1.0)
+
+	ran := 0
+	shards[0].At(0.5, func() { ran++ })
+	shards[1].At(6.0, func() { ran++ })
+
+	r.Drain(3)
+	if ran != 1 {
+		t.Fatalf("Drain(3) ran %d events, want 1", ran)
+	}
+	if control.Pending() != 1 {
+		t.Fatalf("Pending = %d, want the t=6 event still queued", control.Pending())
+	}
+	if now := shards[0].Now(); now > 3 {
+		t.Fatalf("shard 0 clock = %v, ran past the drain deadline", now)
+	}
+
+	r.Drain(10)
+	if ran != 2 || control.Pending() != 0 {
+		t.Fatalf("Drain(10): ran=%d pending=%d, want 2 and 0", ran, control.Pending())
+	}
+}
+
+// TestShardRunnerWindowValidation checks constructor errors.
+func TestShardRunnerWindowValidation(t *testing.T) {
+	control := New(1)
+	if _, err := NewShardRunner(control, []*Sim{New(2)}, 0, newTestExchanger(nil)); err == nil {
+		t.Fatal("window 0 accepted")
+	}
+	if _, err := NewShardRunner(control, nil, 1, newTestExchanger(nil)); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+	if _, err := NewShardRunner(control, []*Sim{New(2)}, math.Inf(1), newTestExchanger(nil)); err == nil {
+		// An infinite window would make T = +Inf and break clock lockstep.
+		t.Fatal("infinite window accepted")
+	}
+}

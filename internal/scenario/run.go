@@ -156,7 +156,7 @@ func Run(env *Env, sc *Scenario, groups []Group, opts Options) (*Result, error) 
 	}
 	horizon := sc.EndTime()
 	t0 := env.Sim.Now()
-	msgs0 := env.Net.MessageCount
+	msgs0 := env.Net.MessageCount()
 
 	res := &Result{
 		Scenario:  sc.Name,
@@ -219,7 +219,7 @@ func Run(env *Env, sc *Scenario, groups []Group, opts Options) (*Result, error) 
 		return nil, runErr
 	}
 
-	res.BGPUpdates = env.Net.MessageCount - msgs0
+	res.BGPUpdates = env.Net.MessageCount() - msgs0
 	analyze(env, res, actions, groups, probers, t0)
 	return res, nil
 }

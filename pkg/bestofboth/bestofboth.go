@@ -66,6 +66,15 @@ func WithObs(r *Registry) Option { return experiment.WithObs(r) }
 // WithScale scales the default topology's AS counts (1.0 ≈ 900 ASes).
 func WithScale(f float64) Option { return experiment.WithScale(f) }
 
+// WithShards splits each world's BGP speakers across n shard simulators run
+// in deterministic phase-barrier rounds; results are bit-identical at any
+// shard count, only wall-clock time changes.
+func WithShards(n int) Option { return experiment.WithShards(n) }
+
+// WithInternetScale applies the internet-scale preset topology (≈72K ASes;
+// see experiment.InternetScale for the memory budget).
+func WithInternetScale() Option { return experiment.WithInternetScale() }
+
 // --- CDN controller and techniques ---------------------------------------
 
 // CDN is the controller orchestrating announcements, DNS, failure
