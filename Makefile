@@ -65,21 +65,24 @@ bench-baseline:
 	$(GO) test -bench 'Figure2|BGPConvergence' -benchmem -run '^$$' | tee bench-baseline.txt
 
 # Machine-readable benchmark record: re-runs the headline benchmarks
-# (Figure2, BGPConvergence, and the sharded-convergence suite) and writes
-# BENCH_PR6.json with ns/op, allocs/op, procs, shard counts, and the
-# headline custom metrics per benchmark, plus percentage reductions against
-# the committed baseline (bench/pr6_baseline.json). CI uploads the file as
-# an artifact so the perf trajectory is tracked from PR 4 onward, and fails
-# on >10% ns/op regression of any shared benchmark or on a sub-2x sharded
-# convergence speedup (the speedup floor downgrades to a warning on
-# single-proc machines, which cannot exhibit parallel speedup).
+# (Figure2, BGPConvergence, the sharded-convergence suite, and the demand
+# fold) and writes BENCH_PR7.json with ns/op, allocs/op, procs, shard
+# counts, and the headline custom metrics per benchmark, plus percentage
+# reductions against the committed baseline (bench/pr7_baseline.json). CI
+# uploads the file as an artifact so the perf trajectory is tracked from
+# PR 4 onward, and fails on >10% ns/op regression of any shared benchmark
+# or on a sub-2x sharded convergence speedup (both gates downgrade to
+# warnings on single-proc machines, which cannot exhibit parallel speedup
+# and whose goroutine-heavy timings are scheduler-noise-bound). The shards=8 run also records event-imbalance-max-mean — the
+# hash partition's per-shard event skew, the baseline for a future
+# load-aware partitioner.
 # The bench output is staged in a file so the converter's compilation never
 # competes with the benchmark for CPU; the trap removes it on every exit,
 # and set -e makes a failure of either step fail the target loudly.
 bench-json:
 	@set -e; tmp=$$(mktemp bench-out.XXXXXX.tmp); trap 'rm -f "$$tmp"' EXIT; \
-	$(GO) test -bench 'Figure2$$|BGPConvergence$$|ConvergenceSharded$$|Figure2Sharded$$' -benchtime 3x -benchmem -run '^$$' . > "$$tmp"; \
-	$(GO) run ./cmd/benchjson -baseline bench/pr6_baseline.json -out BENCH_PR6.json \
+	$(GO) test -bench 'Figure2$$|BGPConvergence$$|ConvergenceSharded$$|Figure2Sharded$$|LoadAccounting$$' -benchtime 3x -benchmem -run '^$$' . > "$$tmp"; \
+	$(GO) run ./cmd/benchjson -baseline bench/pr7_baseline.json -out BENCH_PR7.json \
 		-max-regression-pct 10 \
 		-min-metric 'ConvergenceSharded/shards=8:speedup-x:2' < "$$tmp"
 

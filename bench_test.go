@@ -581,8 +581,9 @@ func shardBenchTopo(b *testing.B) *topology.Topology {
 
 // shardedConverge builds one BGP network over topo at the given shard count,
 // originates a deploy-like wave (every site announces its prefix at t=0),
-// and drains the simulation to convergence.
-func shardedConverge(b *testing.B, topo *topology.Topology, shards int, seed int64) {
+// and drains the simulation to convergence. The network is returned so the
+// caller can read post-convergence shard statistics.
+func shardedConverge(b *testing.B, topo *topology.Topology, shards int, seed int64) *bgp.Network {
 	b.Helper()
 	sim := netsim.New(seed)
 	var net *bgp.Network
@@ -600,6 +601,7 @@ func shardedConverge(b *testing.B, topo *topology.Topology, shards int, seed int
 		net.Originate(site.ID, core.SitePrefix(i), nil)
 	}
 	sim.Run()
+	return net
 }
 
 // BenchmarkConvergenceSharded measures single-simulation BGP convergence at
@@ -619,12 +621,28 @@ func BenchmarkConvergenceSharded(b *testing.B) {
 			}
 			b.ResetTimer()
 			t0 := time.Now()
+			var last *bgp.Network
 			for i := 0; i < b.N; i++ {
-				shardedConverge(b, topo, shards, int64(i))
+				last = shardedConverge(b, topo, shards, int64(i))
 			}
 			if shards == 8 {
 				perOp := time.Since(t0).Seconds() / float64(b.N)
 				b.ReportMetric(single/perOp, "speedup-x")
+				// Event imbalance across the hash partition: max/mean of
+				// per-shard executed events. Measurement only — the baseline
+				// a future load-aware partitioner would improve on.
+				counts := last.ShardEventCounts()
+				var sum, max uint64
+				for _, c := range counts {
+					sum += c
+					if c > max {
+						max = c
+					}
+				}
+				if sum > 0 {
+					mean := float64(sum) / float64(len(counts))
+					b.ReportMetric(float64(max)/mean, "event-imbalance-max-mean")
+				}
 			}
 		})
 	}
@@ -671,4 +689,25 @@ func BenchmarkScenarioRegionalOutage(b *testing.B) {
 	}
 	b.ReportMetric(last.Availability, "availability")
 	b.ReportMetric(last.Events[0].Reconnection.P50, "regional-recon-p50-s")
+}
+
+// BenchmarkLoadAccounting measures one demand fold: the load accountant
+// re-attributing every target's request rate to its live catchment on a
+// converged demand-carrying world. Accountant.Record is the per-probe hot
+// path (//cdnlint:allocfree); the fold must stay allocation-free after
+// warm-up — allocs/op is committed in bench/pr7_baseline.json and gated by
+// make bench-json.
+func BenchmarkLoadAccounting(b *testing.B) {
+	cfg := benchConfig(1)
+	experiment.WithDefaultDemand()(&cfg)
+	w, err := experiment.NewConvergedWorld(cfg, core.Anycast{}, 3600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.CDN.RefreshLoad()
+	}
+	b.ReportMetric(float64(w.CDN.Demand().NumTargets()), "targets-per-fold")
 }

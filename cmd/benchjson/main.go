@@ -25,6 +25,12 @@
 //     metric falls below its floor — e.g. the ≥2x sharded-convergence
 //     speedup. Parallel-speedup floors are unprovable on one processor, so
 //     single-proc runs downgrade the gate to a warning.
+//
+// Both gates downgrade to warnings on single-proc runs: one processor
+// cannot exhibit a parallel speedup, and its ns/op timings are dominated
+// by scheduler interference between the benchmark's goroutines (the
+// goroutine-per-shard benches especially), far outside the regression
+// allowance run to run. The numbers are still recorded for trajectory.
 package main
 
 import (
@@ -138,10 +144,25 @@ func main() {
 
 // checkRegressions reports (and returns true on) any shared benchmark whose
 // ns/op regressed past the allowance. A negative reduction is a regression.
+// On single-proc runs regressions warn instead of failing: with the
+// benchmark's goroutines time-sliced onto one processor, ns/op swings far
+// past any useful allowance between back-to-back runs of an unchanged tree.
 func checkRegressions(out *File, allowPct float64) bool {
+	singleProc := true
+	for _, b := range out.Benchmarks {
+		if b.Procs >= 2 {
+			singleProc = false
+			break
+		}
+	}
 	failed := false
 	for name, r := range out.ReductionsVsBaselinePct {
 		if r.NsPerOpPct < -allowPct {
+			if singleProc {
+				fmt.Fprintf(os.Stderr, "benchjson: warning: %s regressed %.2f%% in ns/op (allowance %.0f%%, not gated on single-proc run)\n",
+					name, -r.NsPerOpPct, allowPct)
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s regressed %.2f%% in ns/op (allowance %.0f%%)\n",
 				name, -r.NsPerOpPct, allowPct)
 			failed = true

@@ -17,8 +17,11 @@
 //	unicast-dns  unicast failover gated by DNS TTL and violations (§2 context)
 //	combined     reactive-anycast + superprefix ablation (§4)
 //	scenario     declarative fault-injection timelines (flaps, link failures,
-//	             partial and regional outages, drains); has its own flags —
-//	             see cdnsim scenario -h
+//	             partial and regional outages, drains, flash crowds); has its
+//	             own flags — see cdnsim scenario -h
+//	load         demand, capacity, and per-site load under a technique:
+//	             offered/served/shed tables and the load-shifting fixed point
+//	             (default when -tech is given without a command)
 //	fig2-sites   per-failed-site breakdown of Figure 2 for one technique
 //	prepend-sweep control-vs-failover tradeoff across prepend depths 1-7 (§4)
 //	validate     §5.1 criterion robustness and repeatability checks
@@ -41,6 +44,7 @@ import (
 	"bestofboth/internal/obs"
 	"bestofboth/internal/stats"
 	"bestofboth/internal/topology"
+	"bestofboth/internal/traffic"
 )
 
 type options struct {
@@ -53,6 +57,8 @@ type options struct {
 	scaleF     float64
 	paper      bool
 	shards     int
+	tech       string
+	demand     bool
 	c1Site     string
 	ttl        uint
 	clients    int
@@ -77,6 +83,10 @@ func main() {
 	flag.StringVar(&opts.scale, "scale", "1", `topology scale factor (1 ≈ 900 ASes), "paper" (~4x topology, 50K-target selection), or "internet" (~81x topology, ≈72K ASes; budget ~4 GiB and pair with -shards)`)
 	flag.IntVar(&opts.shards, "shards", 1,
 		"BGP shard simulators per world (1 = classic single kernel; converged route/FIB state is bit-identical at any shard count, transient timings follow shard-local jitter)")
+	flag.StringVar(&opts.tech, "tech", "",
+		`comma-separated techniques for the load and fig2 commands: the paper's five, "load-shift", "load-shed", "load-shift+<base>", "combined", or "all"/"seven"; with no command, implies the load command`)
+	flag.BoolVar(&opts.demand, "demand", false,
+		"attach the default demand model (Pareto rates, 1.25x capacity headroom) to every world; adds user-weighted CDFs to fig2")
 	flag.StringVar(&opts.c1Site, "c1-site", "sea1", "site analyzed by the c1 command")
 	flag.UintVar(&opts.ttl, "ttl", 600, "DNS record TTL for unicast-dns (seconds)")
 	flag.IntVar(&opts.clients, "clients", 2000, "client population for unicast-dns")
@@ -137,8 +147,17 @@ func main() {
 		}
 		return
 	}
+	if flag.NArg() == 0 && opts.tech != "" {
+		// `cdnsim -tech load-shift` with no command word inspects the
+		// converged load state of the named techniques.
+		if err := run("load", opts); err != nil {
+			fmt.Fprintf(os.Stderr, "cdnsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cdnsim [flags] <fig2|table1|table2|fig3|fig4|fig5|c1|unicast-dns|combined|validate|scenario|all>")
+		fmt.Fprintln(os.Stderr, "usage: cdnsim [flags] <fig2|table1|table2|fig3|fig4|fig5|c1|unicast-dns|combined|load|validate|scenario|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -165,13 +184,17 @@ func (o *options) applyPresetTargets() {
 }
 
 func (o options) worldConfig() experiment.WorldConfig {
-	return experiment.DefaultWorldConfig(
+	wopts := []experiment.Option{
 		experiment.WithSeed(o.seed),
 		experiment.WithScale(o.scaleF),
 		experiment.WithShards(o.shards),
 		experiment.WithWorkers(o.workers),
 		experiment.WithObs(o.reg),
-	)
+	}
+	if o.demand {
+		wopts = append(wopts, experiment.WithDefaultDemand())
+	}
+	return experiment.DefaultWorldConfig(wopts...)
 }
 
 // runner builds the experiment runner honoring -workers, sharing the
@@ -246,6 +269,12 @@ func (o options) siteList() []string {
 
 func run(cmd string, o options) error {
 	start := time.Now()
+	if cmd == "load" {
+		// The load command is meaningless without a demand model; force it
+		// here (not inside runLoad) so the manifest's config digest and
+		// DemandSummary describe the world actually run.
+		o.demand = true
+	}
 	cfg := o.worldConfig()
 	o.report = experiment.NewReport(o.seed)
 
@@ -295,6 +324,8 @@ func run(cmd string, o options) error {
 		cmdErr = runC1(cfg, sel, o)
 	case "unicast-dns":
 		cmdErr = runUnicastDNS(cfg, o)
+	case "load":
+		cmdErr = runLoad(cfg, o)
 	case "validate":
 		cmdErr = runValidate(cfg, sel, o)
 	case "fig2-sites":
@@ -351,6 +382,12 @@ func run(cmd string, o options) error {
 }
 
 func runFig2(cfg experiment.WorldConfig, sel *experiment.Selection, o options, techs []core.Technique) ([]experiment.CDFPair, error) {
+	if techs == nil && o.tech != "" {
+		var err error
+		if techs, err = resolveTechniques(o.tech); err != nil {
+			return nil, err
+		}
+	}
 	if techs == nil {
 		techs = []core.Technique{
 			core.ProactiveSuperprefix{},
@@ -394,6 +431,118 @@ func printPairs(pairs []experiment.CDFPair, xmax float64) {
 		fmt.Printf("  %-25s median bounces %.0f, ≤2 bounces %s, no unreachability %s (n=%d)\n",
 			p.Technique, st.MedianBounces, stats.Pct(st.BounceLE2Share), stats.Pct(st.NoGapShare), st.Reconnected)
 	}
+	anyUser := false
+	for _, p := range pairs {
+		if p.UserFailover != nil {
+			anyUser = true
+			break
+		}
+	}
+	if anyUser {
+		fmt.Println("user-weighted failover (each target counted by its demand, rps):")
+		ut := &stats.Table{Header: []string{"technique", "demand rps", "user p50", "user p90", "user p99"}}
+		for _, p := range pairs {
+			if p.UserFailover == nil {
+				continue
+			}
+			ut.AddRow(p.Technique,
+				fmt.Sprintf("%.0f", p.UserFailover.TotalWeight()),
+				fmt.Sprintf("%.1fs", p.UserFailover.Median()),
+				fmt.Sprintf("%.1fs", p.UserFailover.Percentile(90)),
+				fmt.Sprintf("%.1fs", p.UserFailover.Percentile(99)))
+		}
+		fmt.Println(ut.Render())
+	}
+}
+
+// runLoad inspects the converged load state of each technique on a
+// demand-carrying world: the per-site offered/served/shed table, the
+// aggregate totals, and — for load shifting — whether the rebalance loop
+// reached the Sinha et al. stable fixed point.
+func runLoad(cfg experiment.WorldConfig, o options) error {
+	spec := o.tech
+	if spec == "" {
+		spec = "load-shift"
+	}
+	techs, err := resolveTechniques(spec)
+	if err != nil {
+		return err
+	}
+	if !cfg.Demand.Enabled {
+		experiment.WithDefaultDemand()(&cfg)
+	}
+	fmt.Println("\n=== Load management: demand, capacity, and per-site load ===")
+	for _, tech := range techs {
+		w, err := experiment.NewConvergedWorld(cfg, tech, 3600)
+		if err != nil {
+			return err
+		}
+		m, acct := w.CDN.Demand(), w.CDN.Load()
+		sum := m.Summary()
+		fmt.Printf("\n--- %s ---\n", tech.Name())
+		fmt.Printf("demand: %d targets, %.0f rps total (%s, Gini %.2f, top decile %s of demand), capacity %.0f rps\n",
+			sum.Targets, sum.TotalRPS, sum.Distribution, sum.Gini, stats.Pct(sum.TopDecileShare), sum.CapacityRPS)
+		t := &stats.Table{Header: []string{"site", "capacity rps", "offered rps", "served rps", "shed rps", "util"}}
+		for i := 0; i < acct.NumSites(); i++ {
+			t.AddRow(acct.SiteCode(i),
+				fmt.Sprintf("%.0f", float64(acct.Capacity(i))/traffic.Micro),
+				fmt.Sprintf("%.0f", float64(acct.Offered(i))/traffic.Micro),
+				fmt.Sprintf("%.0f", float64(acct.Served(i))/traffic.Micro),
+				fmt.Sprintf("%.0f", float64(acct.Shed(i))/traffic.Micro),
+				fmt.Sprintf("%.2f", acct.Utilization(i)))
+		}
+		fmt.Println(t.Render())
+		offered, served, shed := acct.Totals()
+		fmt.Printf("totals: offered %.0f, served %.0f, shed %.0f, unserved %.0f rps\n",
+			float64(offered)/traffic.Micro, float64(served)/traffic.Micro,
+			float64(shed)/traffic.Micro, float64(acct.Unserved())/traffic.Micro)
+		if reb, ok := tech.(core.Rebalancer); ok {
+			// At the fixed point one more Rebalance is a no-op (returns
+			// changed=false without touching announcements), so this is a
+			// pure stability check.
+			changed, err := reb.Rebalance(w.CDN)
+			if err != nil {
+				return err
+			}
+			switch {
+			case changed:
+				fmt.Println("fixed point: NOT stable — a further rebalance move exists")
+			case acct.Overloaded():
+				fmt.Println("fixed point: stable, but overload remains (no movable prefix can relieve it)")
+			default:
+				fmt.Println("fixed point: stable — no site above capacity, no further moves")
+			}
+		} else if acct.Overloaded() {
+			fmt.Println("overload: at least one site above capacity")
+		}
+		if o.report != nil {
+			type siteRow struct {
+				Site     string  `json:"site"`
+				Capacity float64 `json:"capacityRPS"`
+				Offered  float64 `json:"offeredRPS"`
+				Served   float64 `json:"servedRPS"`
+				Shed     float64 `json:"shedRPS"`
+				Util     float64 `json:"utilization"`
+			}
+			rows := make([]siteRow, 0, acct.NumSites())
+			for i := 0; i < acct.NumSites(); i++ {
+				rows = append(rows, siteRow{
+					Site:     acct.SiteCode(i),
+					Capacity: float64(acct.Capacity(i)) / traffic.Micro,
+					Offered:  float64(acct.Offered(i)) / traffic.Micro,
+					Served:   float64(acct.Served(i)) / traffic.Micro,
+					Shed:     float64(acct.Shed(i)) / traffic.Micro,
+					Util:     acct.Utilization(i),
+				})
+			}
+			o.report.Add("load:"+tech.Name(), map[string]any{
+				"demand":     sum,
+				"sites":      rows,
+				"overloaded": acct.Overloaded(),
+			})
+		}
+	}
+	return nil
 }
 
 func runTable1(cfg experiment.WorldConfig, sel *experiment.Selection, o options) ([]experiment.Table1Row, error) {

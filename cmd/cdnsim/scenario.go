@@ -119,8 +119,46 @@ func loadScenario(file, name string) (*scenario.Scenario, error) {
 }
 
 func parseTechniques(spec string) ([]core.Technique, error) {
-	if spec == "all" {
+	out, err := resolveTechniques(spec)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return out, nil
+}
+
+// resolveTechnique maps a CLI name to a technique: the paper's five plus
+// combined, the two Sinha et al. load techniques, and the composed form
+// "load-shift+<base>" (prefix-granularity shifting on top of any base).
+func resolveTechnique(name string) (core.Technique, error) {
+	if base, ok := strings.CutPrefix(name, "load-shift+"); ok {
+		bt, err := resolveTechnique(base)
+		if err != nil {
+			return nil, err
+		}
+		return core.LoadShift{Base: bt}, nil
+	}
+	for _, t := range core.SevenTechniques() {
+		if t.Name() == name {
+			return t, nil
+		}
+	}
+	for _, t := range core.AllTechniques() {
+		if t.Name() == name {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown technique %q", name)
+}
+
+// resolveTechniques parses a comma-separated technique spec. "all" is the
+// classic six (core.AllTechniques); "seven" is the paper's five plus the
+// two load-management techniques (core.SevenTechniques).
+func resolveTechniques(spec string) ([]core.Technique, error) {
+	switch spec {
+	case "all":
 		return core.AllTechniques(), nil
+	case "seven":
+		return core.SevenTechniques(), nil
 	}
 	var out []core.Technique
 	for _, name := range strings.Split(spec, ",") {
@@ -128,20 +166,14 @@ func parseTechniques(spec string) ([]core.Technique, error) {
 		if name == "" {
 			continue
 		}
-		found := false
-		for _, t := range core.AllTechniques() {
-			if t.Name() == name {
-				out = append(out, t)
-				found = true
-				break
-			}
+		t, err := resolveTechnique(name)
+		if err != nil {
+			return nil, err
 		}
-		if !found {
-			return nil, fmt.Errorf("scenario: unknown technique %q", name)
-		}
+		out = append(out, t)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("scenario: no techniques given")
+		return nil, fmt.Errorf("no techniques given")
 	}
 	return out, nil
 }
@@ -157,6 +189,20 @@ func printScenarioResult(res *scenario.Result, sc *scenario.Scenario) {
 		res.Sent, res.Answered, stats.Pct(res.Availability), res.BGPUpdates)
 	for _, d := range res.Detections {
 		fmt.Printf("monitor detected %s down at t=%.1fs\n", d.Site, d.At)
+	}
+
+	if l := res.Load; l != nil {
+		fmt.Printf("load: %d samples, served %.0f rps·s, shed %.0f rps·s\n",
+			l.Samples, l.ServedIntegral, l.ShedIntegral)
+		lt := &stats.Table{Header: []string{"site", "capacity rps", "peak offered", "peak util", "final offered"}}
+		for _, s := range l.Sites {
+			lt.AddRow(s.Site,
+				fmt.Sprintf("%.0f", s.CapacityRPS),
+				fmt.Sprintf("%.0f", s.PeakOfferedRPS),
+				fmt.Sprintf("%.2f", s.PeakUtilization),
+				fmt.Sprintf("%.0f", s.FinalOfferedRPS))
+		}
+		fmt.Println(lt.Render())
 	}
 
 	t := &stats.Table{Header: []string{

@@ -24,6 +24,7 @@ var deterministicPkgs = []string{
 	"internal/iptrie",
 	"internal/topology",
 	"internal/collector",
+	"internal/traffic",
 }
 
 func isDeterministicPkg(path string) bool {

@@ -286,3 +286,15 @@ func (n *Network) ShardRunner() *netsim.ShardRunner { return n.runner }
 // Shards returns the number of shards the network runs across (1 when
 // unsharded).
 func (n *Network) Shards() int { return len(n.shards) }
+
+// ShardEventCounts returns the number of kernel events each shard has
+// executed so far, in shard-index order. The max/mean ratio of these is
+// the event-imbalance the seeded BFS-chunk partitioner leaves on the
+// table — the tracked baseline for a future load-aware partitioner.
+func (n *Network) ShardEventCounts() []uint64 {
+	counts := make([]uint64, len(n.shards))
+	for i, s := range n.shards {
+		counts[i] = s.sim.Steps()
+	}
+	return counts
+}

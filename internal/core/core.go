@@ -32,6 +32,7 @@ import (
 	"bestofboth/internal/netsim"
 	"bestofboth/internal/obs"
 	"bestofboth/internal/topology"
+	"bestofboth/internal/traffic"
 )
 
 // Default prefix plan, modeled on the paper's PEERING allocation
@@ -96,6 +97,12 @@ type CDN struct {
 	failed    map[string]bool
 	reacted   map[string]bool
 	dualStack bool
+
+	// Load state (nil unless the experiment config enables demand); both
+	// halves are derived deterministically from the world config, so
+	// restores re-derive instead of serializing them.
+	demand *traffic.Model      //cdnlint:nosnapshot rebuilt deterministically from WorldConfig by experiment.NewWorld
+	load   *traffic.Accountant //cdnlint:nosnapshot measurement sink; reattached by NewWorld and refolded on demand
 
 	// DetectionDelay is the latency of the CDN's health monitoring between
 	// a site failing and the controller reacting (reactive announcements,
@@ -187,6 +194,9 @@ func (c *CDN) Instrument(r *obs.Registry) {
 	}
 	c.m.reactions = r.Counter("cdn_failure_reactions_total")
 	c.auth.Instrument(r)
+	if c.load != nil {
+		c.load.Instrument(r)
+	}
 }
 
 // Technique returns the active technique, or nil before Deploy.
@@ -248,6 +258,11 @@ func (c *CDN) Deploy(t Technique) error {
 		return fmt.Errorf("core: technique %s already deployed", c.technique.Name())
 	}
 	c.technique = t
+	if c.load != nil {
+		if sh, ok := t.(Shedder); ok {
+			c.load.SetShedding(sh.ShedsOverload())
+		}
+	}
 	if err := t.Setup(c); err != nil {
 		return fmt.Errorf("core: deploying %s: %w", t.Name(), err)
 	}

@@ -114,6 +114,10 @@ func (c *CDN) Transition(code string, kind TransitionKind) (SiteTransition, erro
 	}
 	c.m.transitions.Inc()
 	c.m.byKind[kind].Inc()
+	// Re-fold load at the transition instant so no site — in particular a
+	// drained-then-recovered one — retains offered/shed counters from a
+	// catchment it no longer has (no-op without attached load state).
+	c.RefreshLoad()
 	return tr, nil
 }
 
@@ -210,6 +214,7 @@ func (c *CDN) ReactToFailure(code string) error {
 	if err := c.technique.OnSiteFailure(c, s); err != nil {
 		return err
 	}
+	c.RefreshLoad()
 	// DNS: repoint the failed site's name and the main name at a healthy
 	// site.
 	healthy := c.HealthySites()

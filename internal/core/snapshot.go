@@ -55,6 +55,13 @@ func (c *CDN) Restore(snap *Snapshot) error {
 		return fmt.Errorf("core: cannot restore into a CDN with no sites")
 	}
 	c.technique = snap.technique
+	if c.load != nil {
+		// Restore replaces Deploy, so the accountant's overload policy must
+		// be re-derived from the restored technique here.
+		if sh, ok := snap.technique.(Shedder); ok {
+			c.load.SetShedding(sh.ShedsOverload())
+		}
+	}
 	c.announced = slices.Clone(snap.announced)
 	c.failed = maps.Clone(snap.failed)
 	c.reacted = maps.Clone(snap.reacted)

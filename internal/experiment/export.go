@@ -35,12 +35,44 @@ func SummarizeCDF(c *stats.CDF, points int) CDFSummary {
 	}
 }
 
+// WeightedCDFSummary is the exported form of a demand-weighted
+// distribution: the same headline percentiles, weighted by user rps.
+type WeightedCDFSummary struct {
+	N      int     `json:"n"`
+	Weight float64 `json:"weight"` // total demand behind the samples, rps
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+	Mean   float64 `json:"mean"`
+	Max    float64 `json:"max"`
+}
+
+// SummarizeWeightedCDF extracts a WeightedCDFSummary; nil in, nil out.
+func SummarizeWeightedCDF(c *stats.WeightedCDF) *WeightedCDFSummary {
+	if c == nil || c.N() == 0 {
+		return nil
+	}
+	return &WeightedCDFSummary{
+		N:      c.N(),
+		Weight: c.TotalWeight(),
+		P50:    c.Median(),
+		P90:    c.Percentile(90),
+		P99:    c.Percentile(99),
+		Mean:   c.Mean(),
+		Max:    c.Max(),
+	}
+}
+
 // TechniqueSeries is the exported form of one Figure 2/5 curve pair.
 type TechniqueSeries struct {
 	Technique    string         `json:"technique"`
 	Reconnection CDFSummary     `json:"reconnection"`
 	Failover     CDFSummary     `json:"failover"`
 	Stability    StabilityStats `json:"stability"`
+	// UserReconnection/UserFailover are the demand-weighted variants,
+	// present when the runs carried a demand model.
+	UserReconnection *WeightedCDFSummary `json:"userReconnection,omitempty"`
+	UserFailover     *WeightedCDFSummary `json:"userFailover,omitempty"`
 }
 
 // ExportPairs converts CDFPairs for JSON output.
@@ -48,10 +80,12 @@ func ExportPairs(pairs []CDFPair, points int) []TechniqueSeries {
 	out := make([]TechniqueSeries, 0, len(pairs))
 	for _, p := range pairs {
 		out = append(out, TechniqueSeries{
-			Technique:    p.Technique,
-			Reconnection: SummarizeCDF(p.Reconnection, points),
-			Failover:     SummarizeCDF(p.Failover, points),
-			Stability:    p.Stability,
+			Technique:        p.Technique,
+			Reconnection:     SummarizeCDF(p.Reconnection, points),
+			Failover:         SummarizeCDF(p.Failover, points),
+			Stability:        p.Stability,
+			UserReconnection: SummarizeWeightedCDF(p.UserReconnection),
+			UserFailover:     SummarizeWeightedCDF(p.UserFailover),
 		})
 	}
 	return out

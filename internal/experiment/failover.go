@@ -3,12 +3,14 @@ package experiment
 import (
 	"cmp"
 	"fmt"
+	"net/netip"
 	"slices"
 
 	"bestofboth/internal/core"
 	"bestofboth/internal/dataplane"
 	"bestofboth/internal/stats"
 	"bestofboth/internal/topology"
+	"bestofboth/internal/traffic"
 )
 
 // FailoverConfig sets the probing schedule of §5.2.
@@ -82,6 +84,10 @@ type RunResult struct {
 	// site before failure (the probed set).
 	Controllable int
 	Outcomes     []TargetOutcome
+	// Weights holds each outcome's user demand in rps when the world
+	// carries a demand model (aligned with Outcomes; nil otherwise). The
+	// user-weighted CDFs reweight the paper's headline metric by it.
+	Weights []float64
 	// DetectedAt is the emergent detection latency when the run used the
 	// health monitor (seconds after the crash; zero otherwise).
 	DetectedAt float64
@@ -131,7 +137,13 @@ func RunFailover(cfg WorldConfig, sel *Selection, tech core.Technique, failCode 
 
 // newDeployedWorld builds a world, deploys the technique, and waits for
 // convergence — the shared pre-failure trajectory of every failover run of
-// one technique (and what a WorldSnapshot captures).
+// one technique (and what a WorldSnapshot captures). Techniques with a
+// post-convergence control loop (core.Rebalancer, i.e. the Sinha et al.
+// load shifting) then alternate rebalance steps with reconvergence until
+// the fixed point: every step only withdraws announcements, so the loop
+// terminates within core.MaxRebalanceRounds and cannot oscillate. Each
+// converge drains the event queue, so the resulting world remains
+// snapshottable.
 func newDeployedWorld(cfg WorldConfig, tech core.Technique, convergeTime float64) (*World, error) {
 	w, err := NewWorld(cfg)
 	if err != nil {
@@ -141,7 +153,31 @@ func newDeployedWorld(cfg WorldConfig, tech core.Technique, convergeTime float64
 		return nil, fmt.Errorf("experiment: deploying %s: %w", tech.Name(), err)
 	}
 	w.Converge(convergeTime)
+	if w.CDN.Demand() != nil {
+		if reb, ok := tech.(core.Rebalancer); ok {
+			for i := 0; i < core.MaxRebalanceRounds; i++ {
+				changed, err := reb.Rebalance(w.CDN)
+				if err != nil {
+					return nil, fmt.Errorf("experiment: rebalancing %s: %w", tech.Name(), err)
+				}
+				if !changed {
+					break
+				}
+				w.Converge(convergeTime)
+			}
+		}
+		w.CDN.RefreshLoad()
+	}
 	return w, nil
+}
+
+// NewConvergedWorld builds a world, deploys the technique, and converges it,
+// including the rebalance-to-fixed-point loop for load-shifting techniques —
+// the exported form of the shared pre-failure trajectory, for callers that
+// inspect the converged state itself (e.g. the cdnsim load command) rather
+// than running a failover on it.
+func NewConvergedWorld(cfg WorldConfig, tech core.Technique, convergeTime float64) (*World, error) {
+	return newDeployedWorld(cfg, tech, convergeTime)
 }
 
 // failoverOn runs the post-convergence part of the experiment on an already
@@ -159,14 +195,29 @@ func failoverOn(w *World, sel *Selection, tech core.Technique, failCode string, 
 	// Controllable targets (§5.2): targets the technique routes to the
 	// site when DNS steers them there. For the anycast baseline the
 	// relevant set is the site's natural catchment.
+	//
+	// The address a target's traffic actually uses is technique-dependent:
+	// DNS-steered techniques use the failed site's steering address, pure
+	// anycast semantics (anycast, load-shed) use the shared /24, and the
+	// pure bucket overlay (load-shift) addresses each target at its demand
+	// bucket's /27 — so both controllability and the probe reply-to must
+	// follow the per-target address there, or the bucket withdrawals the
+	// rebalance performed would make the steer-address catchment claim the
+	// site serves nobody it is in fact serving.
 	pool := st.NotAnycast
-	if _, isAnycast := tech.(core.Anycast); isAnycast {
+	steer := tech.SteerAddr(w.CDN, failed)
+	addrOf := func(topology.NodeID) netip.Addr { return steer }
+	da, isDA := tech.(core.DemandAddresser)
+	switch {
+	case isDA && w.CDN.Demand() != nil && steer == core.AnycastServiceAddr:
+		pool = st.Proximate
+		addrOf = func(id topology.NodeID) netip.Addr { return da.DemandAddr(w.CDN, id) }
+	case steer == core.AnycastServiceAddr:
 		pool = st.AnycastHere
 	}
-	steer := tech.SteerAddr(w.CDN, failed)
 	var controllable []topology.NodeID
 	for _, id := range pool {
-		if got := w.CDN.CatchmentOf(id, steer); got != nil && got.Node == failed.Node {
+		if got := w.CDN.CatchmentOf(id, addrOf(id)); got != nil && got.Node == failed.Node {
 			controllable = append(controllable, id)
 		}
 	}
@@ -183,6 +234,12 @@ func failoverOn(w *World, sel *Selection, tech core.Technique, failCode string, 
 		res.World = w
 	}
 	res.Controllable = len(controllable)
+	if m := w.CDN.Demand(); m != nil {
+		res.Weights = make([]float64, len(controllable))
+		for i, id := range controllable {
+			res.Weights[i] = float64(m.Rate(id)) / traffic.Micro
+		}
+	}
 	if len(controllable) == 0 {
 		return res, nil
 	}
@@ -196,8 +253,22 @@ func failoverOn(w *World, sel *Selection, tech core.Technique, failCode string, 
 			break
 		}
 	}
-	prober := dataplane.NewProber(w.Plane, proberSite.Node, steer)
-	prober.LossRate = fc.LossRate
+	// One prober per distinct reply-to address (first-seen order over the
+	// controllable set): DNS-steered techniques use a single prober at the
+	// steer address; the bucket overlay gets one per live bucket /27.
+	var addrs []netip.Addr
+	proberAt := make(map[netip.Addr]*dataplane.Prober)
+	targetsAt := make(map[netip.Addr]int)
+	for _, id := range controllable {
+		a := addrOf(id)
+		if _, ok := proberAt[a]; !ok {
+			p := dataplane.NewProber(w.Plane, proberSite.Node, a)
+			p.LossRate = fc.LossRate
+			proberAt[a] = p
+			addrs = append(addrs, a)
+		}
+		targetsAt[a]++
+	}
 
 	t0 := w.Sim.Now()
 	var monitor *core.Monitor
@@ -231,10 +302,12 @@ func failoverOn(w *World, sel *Selection, tech core.Technique, failCode string, 
 		if float64(pings)*fc.ProbeInterval < fc.ProbeDuration {
 			pings++
 		}
-		prober.Reserve(pings * len(controllable))
+		for a, p := range proberAt {
+			p.Reserve(pings * targetsAt[a])
+		}
 	}
 	for _, id := range controllable {
-		prober.PingEvery(id, fc.ProbeInterval, fc.ProbeDuration)
+		proberAt[addrOf(id)].PingEvery(id, fc.ProbeInterval, fc.ProbeDuration)
 	}
 	// Let the final replies land (replies take well under 30 s).
 	w.Sim.RunUntil(t0 + fc.ProbeDuration + 30)
@@ -242,12 +315,20 @@ func failoverOn(w *World, sel *Selection, tech core.Technique, failCode string, 
 		monitor.Stop()
 	}
 
-	// Per-target sent sequences, in emission order.
+	// Per-target sent sequences, in emission order. Each target belongs to
+	// exactly one prober, so merging the per-prober logs never interleaves
+	// sequence spaces within a target.
 	sentByTarget := make(map[topology.NodeID][]uint64, len(controllable))
-	for _, s := range prober.Sent {
-		sentByTarget[s.Target] = append(sentByTarget[s.Target], s.Seq)
+	byTarget := make(map[topology.NodeID][]dataplane.CaptureEntry, len(controllable))
+	for _, a := range addrs {
+		p := proberAt[a]
+		for _, s := range p.Sent {
+			sentByTarget[s.Target] = append(sentByTarget[s.Target], s.Seq)
+		}
+		for id, caps := range p.Capture.ByTarget() {
+			byTarget[id] = caps
+		}
 	}
-	byTarget := prober.Capture.ByTarget()
 	res.Outcomes = make([]TargetOutcome, 0, len(controllable))
 	var scratch []dataplane.CaptureEntry // reused per-target seq index
 	for _, id := range controllable {
@@ -359,17 +440,28 @@ type CDFPair struct {
 	Reconnection *stats.CDF
 	Failover     *stats.CDF
 	Stability    StabilityStats
+	// UserReconnection/UserFailover reweight the same samples by each
+	// target's user demand (rps), answering "how much user traffic had
+	// failed over by time t" instead of "how many targets". Nil when the
+	// runs carried no demand model.
+	UserReconnection *stats.WeightedCDF
+	UserFailover     *stats.WeightedCDF
 }
 
 // Figure2Single converts one run into a CDFPair (convenience for single
 // ⟨technique, site⟩ analyses).
 func Figure2Single(r *RunResult, fc FailoverConfig) CDFPair {
-	return CDFPair{
+	p := CDFPair{
 		Technique:    r.Technique,
 		Reconnection: stats.NewCDF(r.ReconnectionSamples(fc.ProbeDuration)),
 		Failover:     stats.NewCDF(r.FailoverSamples(fc.ProbeDuration)),
 		Stability:    Stability(r.Outcomes),
 	}
+	if len(r.Weights) == len(r.Outcomes) && len(r.Outcomes) > 0 {
+		p.UserReconnection = stats.NewWeightedCDF(r.ReconnectionSamples(fc.ProbeDuration), r.Weights)
+		p.UserFailover = stats.NewWeightedCDF(r.FailoverSamples(fc.ProbeDuration), r.Weights)
+	}
+	return p
 }
 
 // Figure2 runs the full §5.2 matrix — every technique × every failed site —

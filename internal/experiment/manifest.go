@@ -7,10 +7,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 
 	"bestofboth/internal/obs"
+	"bestofboth/internal/topology"
+	"bestofboth/internal/traffic"
 )
 
 // Digest is a stable hex fingerprint of the simulation-identity fields of
@@ -28,8 +31,8 @@ func (c WorldConfig) Digest() string {
 	}
 	flat := cfg.BGP
 	flat.Damping = nil
-	canon := fmt.Sprintf("seed=%d topo=%+v bgp=%+v damp=%s cdn=%+v peers=%d shards=%d",
-		cfg.Seed, cfg.Topology, flat, damp, cfg.CDN, cfg.CollectorPeers, maxInt(1, cfg.Shards))
+	canon := fmt.Sprintf("seed=%d topo=%+v bgp=%+v damp=%s cdn=%+v peers=%d shards=%d demand=%+v",
+		cfg.Seed, cfg.Topology, flat, damp, cfg.CDN, cfg.CollectorPeers, maxInt(1, cfg.Shards), cfg.Demand)
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:])
 }
@@ -56,6 +59,36 @@ type Manifest struct {
 	// Mem records the process memory footprint at write time; nil unless
 	// the caller asked for it (cdnsim fills it when -metrics is set).
 	Mem *MemFootprint `json:"mem,omitempty"`
+	// Demand summarizes the demand model (aggregate demand and capacity,
+	// Gini coefficient, top-decile share) when the configuration enables
+	// it; nil otherwise.
+	Demand *traffic.Summary `json:"demand,omitempty"`
+}
+
+// DemandSummary rebuilds the config's demand model — a pure function of
+// (Demand config, Seed, topology) — and condenses it for the manifest.
+// It returns nil when demand is disabled or the model cannot be built.
+func DemandSummary(cfg WorldConfig) *traffic.Summary {
+	cfg.fillDefaults()
+	if !cfg.Demand.Enabled {
+		return nil
+	}
+	topo, err := topology.Cached(cfg.Topology)
+	if err != nil {
+		return nil
+	}
+	nodes := topo.NodesOfClass(topology.ClassCDN)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	codes := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		codes = append(codes, n.Site)
+	}
+	model, err := traffic.NewModel(cfg.Demand, cfg.Seed, clientTargets(topo), codes)
+	if err != nil {
+		return nil
+	}
+	s := model.Summary()
+	return &s
 }
 
 // MemFootprint captures the memory cost of one invocation — the numbers
@@ -114,6 +147,7 @@ func NewManifest(command string, cfg WorldConfig, workers int, reg *obs.Registry
 		ConfigDigest: cfg.Digest(),
 		Workers:      workers,
 		Metrics:      reg.Snapshot(),
+		Demand:       DemandSummary(cfg),
 	}
 }
 

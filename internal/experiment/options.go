@@ -4,6 +4,7 @@ import (
 	"bestofboth/internal/bgp"
 	"bestofboth/internal/obs"
 	"bestofboth/internal/topology"
+	"bestofboth/internal/traffic"
 )
 
 // Option mutates a WorldConfig under construction; see DefaultWorldConfig.
@@ -91,6 +92,23 @@ func WithScale(f float64) Option {
 // bit-identical everything.
 func WithShards(n int) Option {
 	return func(c *WorldConfig) { c.Shards = n }
+}
+
+// WithDemand attaches a demand model to every world built from the config:
+// each client target gets a seeded heavy-tailed request rate and each site
+// a capacity (internal/traffic). The config's zero fields fill with the
+// documented defaults; Enabled is forced on.
+func WithDemand(d traffic.Config) Option {
+	return func(c *WorldConfig) {
+		d.Enabled = true
+		c.Demand = d
+	}
+}
+
+// WithDefaultDemand attaches the default demand model: Pareto rates
+// (α=1.2), 120K rps aggregate, 1.25× capacity headroom.
+func WithDefaultDemand() Option {
+	return WithDemand(traffic.Config{})
 }
 
 // PaperScale is the topology multiplier of the paper-scale preset: ~4× the

@@ -121,8 +121,8 @@ func snapKey(cfg WorldConfig, tech core.Technique, convergeTime float64) string 
 	// Shards is part of the key even though results are shard-count
 	// invariant: a snapshot's kernel list is sized to the shard count, so a
 	// snapshot taken at one count cannot restore into a world at another.
-	return fmt.Sprintf("seed=%d topo=%+v bgp=%+v damp=%s cdn=%+v peers=%d shards=%d tech=%T%+v conv=%g",
-		cfg.Seed, cfg.Topology, flat, damp, cfg.CDN, cfg.CollectorPeers, maxInt(1, cfg.Shards), tech, tech, convergeTime)
+	return fmt.Sprintf("seed=%d topo=%+v bgp=%+v damp=%s cdn=%+v peers=%d shards=%d demand=%+v tech=%T%+v conv=%g",
+		cfg.Seed, cfg.Topology, flat, damp, cfg.CDN, cfg.CollectorPeers, maxInt(1, cfg.Shards), cfg.Demand, tech, tech, convergeTime)
 }
 
 // buildSnapshot deploys and converges a template world and snapshots it.
@@ -298,20 +298,30 @@ func (r *Runner) Figure2(cfg WorldConfig, sel *Selection, techs []core.Technique
 	}
 	out := make([]CDFPair, 0, len(techs))
 	for ti, tech := range techs {
-		var recon, fail []float64
+		var recon, fail, weights []float64
 		var outcomes []TargetOutcome
 		for si := range sites {
 			res := matrix[ti][si]
 			recon = append(recon, res.ReconnectionSamples(fc.ProbeDuration)...)
 			fail = append(fail, res.FailoverSamples(fc.ProbeDuration)...)
 			outcomes = append(outcomes, res.Outcomes...)
+			weights = append(weights, res.Weights...)
 		}
-		out = append(out, CDFPair{
+		pair := CDFPair{
 			Technique:    tech.Name(),
 			Reconnection: stats.NewCDF(recon),
 			Failover:     stats.NewCDF(fail),
 			Stability:    Stability(outcomes),
-		})
+		}
+		// Weights align one-to-one with outcomes whenever the worlds carried
+		// a demand model; pooled in the same ⟨technique, site⟩ index order as
+		// the samples, the user-weighted CDFs are as worker-count invariant
+		// as the unweighted ones.
+		if len(weights) == len(recon) && len(recon) > 0 {
+			pair.UserReconnection = stats.NewWeightedCDF(recon, weights)
+			pair.UserFailover = stats.NewWeightedCDF(fail, weights)
+		}
+		out = append(out, pair)
 	}
 	return out, nil
 }

@@ -75,5 +75,8 @@ func RestoreWorld(snap *WorldSnapshot) (*World, error) {
 		return nil, fmt.Errorf("experiment: restoring cdn: %w", err)
 	}
 	w.Collector.RestoreArchive(snap.col)
+	// The demand model was rebuilt by NewWorld; fold the restored FIBs so
+	// the accountant matches the snapshotted world's converged load state.
+	w.CDN.RefreshLoad()
 	return w, nil
 }

@@ -15,6 +15,7 @@ import (
 	"bestofboth/internal/netsim"
 	"bestofboth/internal/obs"
 	"bestofboth/internal/topology"
+	"bestofboth/internal/traffic"
 )
 
 // WorldConfig parameterizes one simulated Internet + CDN instance.
@@ -43,6 +44,12 @@ type WorldConfig struct {
 	// shard-local jitter streams, so Shards is a simulation-identity field
 	// and participates in the config digest.
 	Shards int
+	// Demand, when Enabled, attaches a seeded heavy-tailed demand model and
+	// load accountant to the CDN (internal/traffic): every client target
+	// gets a request rate drawn from Seed, every site a capacity. Demand is
+	// simulation identity — it changes load-management behavior — so it
+	// participates in snapKey and the config digest.
+	Demand traffic.Config
 	// Obs, when non-nil, instruments every layer of worlds built from this
 	// config. It takes no part in simulation identity: snapKey ignores it,
 	// and snapshots strip it.
@@ -55,6 +62,9 @@ func (c *WorldConfig) fillDefaults() {
 	}
 	if c.CollectorPeers == 0 {
 		c.CollectorPeers = 40
+	}
+	if c.Demand.Enabled {
+		c.Demand = c.Demand.Normalized()
 	}
 	c.Topology.Seed = c.Seed
 }
@@ -101,6 +111,20 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	if err := col.Attach(net, collector.SelectPeers(topo, cfg.CollectorPeers, cfg.Seed)...); err != nil {
 		return nil, fmt.Errorf("experiment: attaching collector: %w", err)
 	}
+	if cfg.Demand.Enabled {
+		// The demand model is a pure function of (Demand config, Seed,
+		// topology, site roster): restored worlds rebuild it here instead of
+		// carrying it in snapshots.
+		codes := make([]string, 0, len(cdn.Sites()))
+		for _, s := range cdn.Sites() {
+			codes = append(codes, s.Code)
+		}
+		model, err := traffic.NewModel(cfg.Demand, cfg.Seed, clientTargets(topo), codes)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: building demand model: %w", err)
+		}
+		cdn.AttachLoad(model, traffic.NewAccountant(model))
+	}
 	w := &World{
 		Cfg: cfg, Sim: sim, Topo: topo, Net: net,
 		Plane: plane, CDN: cdn, Collector: col,
@@ -140,8 +164,14 @@ func (w *World) Converge(maxVirtual float64) {
 // web-client networks (§5.1). Hypergiants are excluded: they host servers,
 // not CDN clients.
 func (w *World) Targets() []*topology.Node {
+	return clientTargets(w.Topo)
+}
+
+// clientTargets is the target filter shared by World.Targets and the
+// demand model: prefix-bearing non-hypergiant client nodes.
+func clientTargets(topo *topology.Topology) []*topology.Node {
 	var out []*topology.Node
-	for _, n := range w.Topo.Nodes {
+	for _, n := range topo.Nodes {
 		if !n.Prefix.IsValid() {
 			continue
 		}

@@ -4,7 +4,9 @@ package scenario
 // Each exercises a fault regime the paper argues about but does not
 // measure: flapping (with and without route-flap damping), a correlated
 // regional outage, partial provider loss at the weakly connected sea1
-// site, rolling maintenance drains, and a multi-failure cascade.
+// site, rolling maintenance drains, a multi-failure cascade, and three
+// demand-model scenarios (flash crowd, cascading overload, capacity-aware
+// drain) in the Sinha et al. load-management regime.
 func Library() []*Scenario {
 	return []*Scenario{
 		{
@@ -44,6 +46,35 @@ func Library() []*Scenario {
 			Name:        "rolling-maintenance",
 			Description: "each site is drained (30 s grace), held down, and recovered in turn, staggered 100 s apart",
 			Events:      rollingMaintenance(),
+		},
+		{
+			Name:        "flash-crowd",
+			Description: "ams's current catchment demands 5x for 180 s: overload that no routing change caused and only load shifting or shedding can manage",
+			Demand:      true,
+			Horizon:     400,
+			Events: []Event{
+				{At: 10, Kind: KindFlashCrowd, Site: "ams", Fraction: 5, Period: 180},
+			},
+		},
+		{
+			Name:        "cascading-overload",
+			Description: "the mountain-west region fails and survivors inherit its catchment AND its traffic: 5 of 8 sites absorb demand sized for 8, pushing them past the 1.25x headroom",
+			Demand:      true,
+			Horizon:     500,
+			Events: []Event{
+				{At: 10, Kind: KindRegionalFail, Site: "slc", Radius: 12},
+				{At: 260, Kind: KindRegionalRecover, Site: "slc", Radius: 12},
+			},
+		},
+		{
+			Name:        "capacity-drain",
+			Description: "slc is drained with a load-aware grace: forwarding stops when offered load falls under 1% of capacity (120 s bound), then the site recovers",
+			Demand:      true,
+			Horizon:     400,
+			Events: []Event{
+				{At: 10, Kind: KindCapacityDrain, Site: "slc", DrainFor: 120},
+				{At: 250, Kind: KindRecover, Site: "slc"},
+			},
 		},
 		{
 			Name:        "cascade",

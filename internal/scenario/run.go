@@ -11,6 +11,7 @@ import (
 	"bestofboth/internal/netsim"
 	"bestofboth/internal/stats"
 	"bestofboth/internal/topology"
+	"bestofboth/internal/traffic"
 )
 
 // Env is the concrete world a scenario runs against: an already deployed,
@@ -121,6 +122,33 @@ type Detection struct {
 	At   float64 `json:"at"` // seconds from scenario start
 }
 
+// SiteLoad is one site's load trajectory over a scenario run, in rps.
+type SiteLoad struct {
+	Site        string  `json:"site"`
+	CapacityRPS float64 `json:"capacityRPS"`
+	// PeakOfferedRPS / PeakUtilization are the maxima across the run's load
+	// samples; FinalOfferedRPS is the last sample's offered load.
+	PeakOfferedRPS  float64 `json:"peakOfferedRPS"`
+	PeakUtilization float64 `json:"peakUtilization"`
+	FinalOfferedRPS float64 `json:"finalOfferedRPS"`
+}
+
+// LoadSummary reports the demand-model view of a scenario run: the load
+// accountant is refolded every 5 s of virtual time, and peaks/integrals
+// are taken over those samples (plus the folds the CDN's own lifecycle
+// triggers).
+type LoadSummary struct {
+	// Samples is the number of 5 s sampler folds.
+	Samples int `json:"samples"`
+	// ServedIntegral/ShedIntegral sum served and shed rps across every fold
+	// of the run — the served/shed rate time series integrated at the fold
+	// cadence (dimensionally rps·folds, comparable across runs of one
+	// scenario).
+	ServedIntegral float64    `json:"servedIntegral"`
+	ShedIntegral   float64    `json:"shedIntegral"`
+	Sites          []SiteLoad `json:"sites"`
+}
+
 // Result is the outcome of one scenario run against one deployed world.
 type Result struct {
 	Scenario  string  `json:"scenario"`
@@ -140,6 +168,9 @@ type Result struct {
 	// Options.UseMonitor).
 	Detections []Detection   `json:"detections,omitempty"`
 	Events     []EventResult `json:"events"`
+	// Load summarizes per-site offered/served/shed load over the run when
+	// the world carries a demand model (nil otherwise).
+	Load *LoadSummary `json:"load,omitempty"`
 }
 
 // Run executes the scenario against env: it schedules every bound event on
@@ -210,6 +241,12 @@ func Run(env *Env, sc *Scenario, groups []Group, opts Options) (*Result, error) 
 		res.Targets += len(g.Targets)
 	}
 
+	// Load sampler: refold the accountant every 5 s of virtual time so
+	// per-site peaks and served/shed integrals track the fault timeline.
+	// RefreshLoad is a pure read of converged FIBs and the sampler draws no
+	// randomness, so scheduling it does not perturb the simulation.
+	sampler := newLoadSampler(env, t0, horizon)
+
 	// Drain: horizon plus slack for the last replies (well under 30 s).
 	env.Sim.RunUntil(t0 + horizon + 30)
 	if mon != nil {
@@ -220,8 +257,76 @@ func Run(env *Env, sc *Scenario, groups []Group, opts Options) (*Result, error) 
 	}
 
 	res.BGPUpdates = env.Net.MessageCount() - msgs0
+	if sampler != nil {
+		res.Load = sampler.summary()
+	}
 	analyze(env, res, actions, groups, probers, t0)
 	return res, nil
+}
+
+// loadSampler tracks per-site load peaks across periodic refolds of the
+// CDN's load accountant during a scenario run.
+type loadSampler struct {
+	env      *Env
+	acct     *traffic.Accountant
+	samples  int
+	served0  int64
+	shed0    int64
+	peakOff  []int64
+	peakUtil []float64
+}
+
+// newLoadSampler schedules 5 s load samples across [t0, t0+horizon] and
+// returns nil when the world has no load accounting.
+func newLoadSampler(env *Env, t0, horizon float64) *loadSampler {
+	acct := env.CDN.Load()
+	if acct == nil {
+		return nil
+	}
+	ls := &loadSampler{
+		env:      env,
+		acct:     acct,
+		peakOff:  make([]int64, acct.NumSites()),
+		peakUtil: make([]float64, acct.NumSites()),
+	}
+	ls.served0, ls.shed0 = acct.Cumulative()
+	for t := 0.0; t <= horizon; t += 5 {
+		env.Sim.At(t0+t, ls.sample)
+	}
+	return ls
+}
+
+func (ls *loadSampler) sample() {
+	ls.env.CDN.RefreshLoad()
+	ls.samples++
+	for i := range ls.peakOff {
+		if off := ls.acct.Offered(i); off > ls.peakOff[i] {
+			ls.peakOff[i] = off
+		}
+		if u := ls.acct.Utilization(i); u > ls.peakUtil[i] {
+			ls.peakUtil[i] = u
+		}
+	}
+}
+
+func (ls *loadSampler) summary() *LoadSummary {
+	served, shed := ls.acct.Cumulative()
+	out := &LoadSummary{
+		Samples:        ls.samples,
+		ServedIntegral: float64(served-ls.served0) / traffic.Micro,
+		ShedIntegral:   float64(shed-ls.shed0) / traffic.Micro,
+		Sites:          make([]SiteLoad, 0, ls.acct.NumSites()),
+	}
+	for i := range ls.peakOff {
+		out.Sites = append(out.Sites, SiteLoad{
+			Site:            ls.acct.SiteCode(i),
+			CapacityRPS:     float64(ls.acct.Capacity(i)) / traffic.Micro,
+			PeakOfferedRPS:  float64(ls.peakOff[i]) / traffic.Micro,
+			PeakUtilization: ls.peakUtil[i],
+			FinalOfferedRPS: float64(ls.acct.Offered(i)) / traffic.Micro,
+		})
+	}
+	return out
 }
 
 func techName(c *core.CDN) string {

@@ -69,6 +69,17 @@ const (
 	// fail at At+i*Period, recover half a period later — the input that
 	// route-flap damping (bgp.DampingConfig) exists to punish.
 	KindFlap Kind = "flap"
+	// KindFlashCrowd multiplies the demand of every target currently in
+	// Site's catchment by Fraction for Period seconds, then restores the
+	// original rates exactly. Requires a world with a demand model
+	// (Scenario.Demand or an explicit demand config).
+	KindFlashCrowd Kind = "flash-crowd"
+	// KindCapacityDrain is a capacity-aware maintenance drain: like
+	// KindDrain, but the site stops forwarding as soon as its offered load
+	// falls below 1% of capacity, checked every 5 s, with DrainFor as the
+	// hard upper bound on the grace period. Without a demand model it
+	// degrades to a plain drain with a DrainFor grace.
+	KindCapacityDrain Kind = "capacity-drain"
 )
 
 // Event is one entry on a scenario timeline. Which fields are meaningful
@@ -111,6 +122,10 @@ type Scenario struct {
 	// experiment.Runner) honors it; Run itself uses whatever network it is
 	// handed.
 	Damping bool `json:"damping,omitempty"`
+	// Demand requests a demand model (traffic.Config defaults) in worlds
+	// built for this scenario — required by flash-crowd events and
+	// meaningful for any load-summary reporting. Advisory, like Damping.
+	Demand bool `json:"demand,omitempty"`
 	// Horizon is the probing horizon in virtual seconds from scenario
 	// start. Zero means the last event time plus a 120 s tail.
 	Horizon float64 `json:"horizon,omitempty"`
@@ -121,7 +136,8 @@ func (e *Event) needsSite() bool {
 	switch e.Kind {
 	case KindCrash, KindFail, KindRecover, KindDrain,
 		KindPartialFail, KindPartialRestore,
-		KindRegionalFail, KindRegionalRecover, KindFlap:
+		KindRegionalFail, KindRegionalRecover, KindFlap,
+		KindFlashCrowd, KindCapacityDrain:
 		return true
 	}
 	return false
@@ -175,6 +191,17 @@ func (s *Scenario) Validate() error {
 			if e.Count <= 0 {
 				return fmt.Errorf("%s: needs a positive count", where)
 			}
+		case KindFlashCrowd:
+			if e.Fraction <= 0 {
+				return fmt.Errorf("%s: needs a positive fraction (demand multiplier)", where)
+			}
+			if e.Period <= 0 {
+				return fmt.Errorf("%s: needs a positive period (spike duration)", where)
+			}
+		case KindCapacityDrain:
+			if e.DrainFor <= 0 {
+				return fmt.Errorf("%s: needs a positive drainFor (grace bound)", where)
+			}
 		default:
 			return fmt.Errorf("scenario %s: event %d: unknown kind %q", s.Name, i, e.Kind)
 		}
@@ -194,8 +221,13 @@ func (s *Scenario) EndTime() float64 {
 	last := 0.0
 	for _, e := range s.Events {
 		at := e.At
-		if e.Kind == KindFlap {
+		switch e.Kind {
+		case KindFlap:
 			at += float64(e.Count-1)*e.Period + e.Period/2
+		case KindFlashCrowd:
+			at += e.Period
+		case KindCapacityDrain:
+			at += e.DrainFor
 		}
 		if at > last {
 			last = at
@@ -381,6 +413,96 @@ func bindEvent(env *Env, e *Event) ([]action, error) {
 				func(env *Env) error { _, err := env.CDN.RecoverSite(site); return err }})
 		}
 		return out, nil
+	case KindFlashCrowd:
+		if err := env.checkSite(e.Site); err != nil {
+			return nil, err
+		}
+		site, mult, dur := e.Site, e.Fraction, e.Period
+		label := fmt.Sprintf("flash-crowd %s x%g (%gs)", site, mult, dur)
+		return []action{{e.At, e.Kind, label, func(env *Env) error {
+			m := env.CDN.Demand()
+			if m == nil {
+				return fmt.Errorf("flash-crowd needs a demand model (set Scenario.Demand or configure one)")
+			}
+			node := env.CDN.Site(site).Node
+			// The affected population is whoever the site serves right now
+			// (live catchment of the demand address), not a static list: a
+			// crowd flocks to content, and the content's audience is wherever
+			// the anycast/DNS layer currently lands it.
+			var ids []topology.NodeID
+			var orig []int64
+			m.Each(func(id topology.NodeID, micro int64, _ int) {
+				if got := env.CDN.DemandSiteOf(id); got != nil && got.Node == node {
+					ids = append(ids, id)
+					orig = append(orig, micro)
+				}
+			})
+			// Integer scaling by mult expressed in thousandths keeps the
+			// rates exact; the restore puts back the saved originals rather
+			// than dividing (scaling down is lossy in integer space).
+			num := int64(math.Round(mult * 1000))
+			for i, id := range ids {
+				r := orig[i]
+				m.SetRate(id, r/1000*num+r%1000*num/1000)
+			}
+			env.CDN.RefreshLoad()
+			env.Sim.After(dur, func() {
+				for i, id := range ids {
+					m.SetRate(id, orig[i])
+				}
+				env.CDN.RefreshLoad()
+			})
+			return nil
+		}}}, nil
+	case KindCapacityDrain:
+		if err := env.checkSite(e.Site); err != nil {
+			return nil, err
+		}
+		site, bound := e.Site, e.DrainFor
+		label := fmt.Sprintf("capacity-drain %s (<=%gs grace)", site, bound)
+		return []action{{e.At, e.Kind, label, func(env *Env) error {
+			if _, err := env.CDN.DrainSite(site); err != nil {
+				return err
+			}
+			node := env.CDN.Site(site).Node
+			acct := env.CDN.Load()
+			idx := -1
+			if acct != nil {
+				for i := 0; i < acct.NumSites(); i++ {
+					if acct.SiteCode(i) == site {
+						idx = i
+						break
+					}
+				}
+			}
+			if idx < 0 {
+				// No load accounting: plain drain with DrainFor as the grace.
+				env.Sim.After(bound, func() {
+					if env.CDN.Failed(site) {
+						env.Plane.SetDown(node, true)
+					}
+				})
+				return nil
+			}
+			deadline := env.Sim.Now() + bound
+			// Poll the folded load every 5 s and cut forwarding as soon as
+			// the drain has actually taken effect (offered load under 1% of
+			// capacity), or at the deadline regardless.
+			var poll func()
+			poll = func() {
+				if !env.CDN.Failed(site) {
+					return // recovered mid-drain: keep serving
+				}
+				env.CDN.RefreshLoad()
+				if env.Sim.Now() >= deadline || acct.Offered(idx)*100 <= acct.Capacity(idx) {
+					env.Plane.SetDown(node, true)
+					return
+				}
+				env.Sim.After(5, poll)
+			}
+			env.Sim.After(5, poll)
+			return nil
+		}}}, nil
 	}
 	return nil, fmt.Errorf("unknown kind %q", e.Kind)
 }

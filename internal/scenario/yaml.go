@@ -88,6 +88,12 @@ func decodeScenario(v any) (*Scenario, error) {
 				return nil, fmt.Errorf("scenario field %q: %w", k, err)
 			}
 			sc.Damping = b
+		case "demand":
+			b, err := asBool(val)
+			if err != nil {
+				return nil, fmt.Errorf("scenario field %q: %w", k, err)
+			}
+			sc.Demand = b
 		case "horizon":
 			f, err := asFloat(val)
 			if err != nil {

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WeightedCDF is an empirical distribution over weighted samples: each
+// sample carries a non-negative weight (the load-management evaluation
+// weights a target's failover time by its demand). Percentiles are
+// weighted nearest-rank: the p-th percentile is the smallest sample value
+// at which the cumulative weight reaches p% of the total.
+type WeightedCDF struct {
+	values []float64 // ascending
+	cum    []float64 // cumulative weight, aligned with values
+	total  float64
+}
+
+// NewWeightedCDF builds a weighted CDF from parallel samples and weights
+// (len(weights) must equal len(samples); neither input is modified).
+// Samples are sorted stably by value, so equal inputs — regardless of
+// worker or shard count upstream — produce bit-identical distributions.
+func NewWeightedCDF(samples, weights []float64) *WeightedCDF {
+	n := len(samples)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return samples[idx[a]] < samples[idx[b]] })
+	c := &WeightedCDF{values: make([]float64, n), cum: make([]float64, n)}
+	for i, j := range idx {
+		w := weights[j]
+		if w < 0 {
+			w = 0
+		}
+		c.values[i] = samples[j]
+		c.total += w
+		c.cum[i] = c.total
+	}
+	return c
+}
+
+// N returns the sample count.
+func (c *WeightedCDF) N() int { return len(c.values) }
+
+// TotalWeight returns the sum of all weights.
+func (c *WeightedCDF) TotalWeight() float64 { return c.total }
+
+// Min returns the smallest sample, or NaN if empty.
+func (c *WeightedCDF) Min() float64 {
+	if len(c.values) == 0 {
+		return math.NaN()
+	}
+	return c.values[0]
+}
+
+// Max returns the largest sample, or NaN if empty.
+func (c *WeightedCDF) Max() float64 {
+	if len(c.values) == 0 {
+		return math.NaN()
+	}
+	return c.values[len(c.values)-1]
+}
+
+// At returns the weight fraction of samples <= x.
+func (c *WeightedCDF) At(x float64) float64 {
+	if len(c.values) == 0 || c.total == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(c.values, x)
+	for i < len(c.values) && c.values[i] == x {
+		i++
+	}
+	if i == 0 {
+		return 0
+	}
+	return c.cum[i-1] / c.total
+}
+
+// Percentile returns the weighted p-th percentile (p in [0,100]), or NaN
+// if the CDF is empty or all weights are zero.
+func (c *WeightedCDF) Percentile(p float64) float64 {
+	n := len(c.values)
+	if n == 0 || c.total == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return c.values[0]
+	}
+	if p >= 100 {
+		return c.values[n-1]
+	}
+	need := p / 100 * c.total
+	i := sort.SearchFloat64s(c.cum, need)
+	if i >= n {
+		i = n - 1
+	}
+	return c.values[i]
+}
+
+// Median returns the weighted 50th percentile.
+func (c *WeightedCDF) Median() float64 { return c.Percentile(50) }
+
+// Mean returns the weighted mean, or NaN if empty or weightless.
+func (c *WeightedCDF) Mean() float64 {
+	if len(c.values) == 0 || c.total == 0 {
+		return math.NaN()
+	}
+	var sum, prev float64
+	for i, v := range c.values {
+		w := c.cum[i] - prev
+		prev = c.cum[i]
+		sum += v * w
+	}
+	return sum / c.total
+}
+
+// Summary is a compact one-line description matching CDF.Summary.
+func (c *WeightedCDF) Summary() string {
+	return fmt.Sprintf("n=%d w=%.0f min=%.2f p25=%.2f p50=%.2f p75=%.2f p90=%.2f p99=%.2f max=%.2f",
+		c.N(), c.total, c.Min(), c.Percentile(25), c.Median(), c.Percentile(75),
+		c.Percentile(90), c.Percentile(99), c.Max())
+}
