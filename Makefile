@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet lint lint-vet govulncheck race race-full bench bench-baseline bench-smoke bench-json shard-equivalence ci
+.PHONY: tier1 vet lint lint-vet govulncheck race race-full bench bench-baseline bench-smoke bench-json shard-equivalence ctlplane-smoke ci
 
 # Tier-1 gate: must stay green (see ROADMAP.md).
 tier1:
@@ -53,8 +53,18 @@ race-full: vet
 bench-smoke:
 	$(GO) test -bench 'BenchmarkFigure2(Metrics)?$$' -benchtime 1x -run '^$$' .
 
+# Control-plane gate: the snapshotfields analyzer over the packages that
+# carry ChangeSet / snapshot state, then the end-to-end smoke test — build
+# cdnsimd and cdnsim, start the daemon on an ephemeral port, and drive a
+# drain ChangeSet dry-run → execute → verify (pass receipt, bit-identical
+# digests) plus a sabotaged execution (fail receipt naming the diverging
+# fields).
+ctlplane-smoke:
+	$(GO) run ./cmd/cdnlint -checks snapshotfields ./internal/ctlplane/... ./pkg/bestofboth/... ./internal/experiment/...
+	$(GO) test -run 'TestCtlplaneSmoke|TestDiffStatesCoversEverySchemaField' -count=1 -v . ./internal/ctlplane/
+
 # Everything CI runs (see .github/workflows/ci.yml).
-ci: tier1 vet lint race bench-smoke
+ci: tier1 vet lint race bench-smoke ctlplane-smoke
 
 # Figure-2 + convergence benchmarks with allocation stats.
 bench:

@@ -41,43 +41,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"bestofboth/pkg/bestofboth/api"
 )
-
-// Benchmark is one parsed benchmark result line.
-type Benchmark struct {
-	Name        string             `json:"name"`
-	Iterations  int64              `json:"iterations"`
-	NsPerOp     float64            `json:"nsPerOp"`
-	BytesPerOp  float64            `json:"bytesPerOp,omitempty"`
-	AllocsPerOp float64            `json:"allocsPerOp,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-	// Procs is the GOMAXPROCS the benchmark ran under (the -P name
-	// suffix; 1 when absent). Wall-clock parallelism gates consult it:
-	// a single-proc run cannot demonstrate a parallel speedup.
-	Procs int `json:"procs,omitempty"`
-	// Shards is the shard count parsed from a /shards=N sub-benchmark
-	// path segment; 0 for unsharded benchmarks.
-	Shards int `json:"shards,omitempty"`
-}
-
-// Reduction is the improvement of a benchmark relative to the baseline, in
-// percent (positive = better/lower).
-type Reduction struct {
-	NsPerOpPct     float64 `json:"nsPerOpPct"`
-	AllocsPerOpPct float64 `json:"allocsPerOpPct"`
-}
-
-// File is the document benchjson writes (and reads back as a baseline).
-type File struct {
-	GOOS       string      `json:"goos,omitempty"`
-	GOARCH     string      `json:"goarch,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Baseline   []Benchmark `json:"baseline,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-	// ReductionsVsBaselinePct maps benchmark name to its improvement over
-	// the embedded baseline.
-	ReductionsVsBaselinePct map[string]Reduction `json:"reductionsVsBaselinePct,omitempty"`
-}
 
 // multiFlag collects a repeatable string flag.
 type multiFlag []string
@@ -114,6 +80,7 @@ func main() {
 		out.Baseline = base.Benchmarks
 		out.ReductionsVsBaselinePct = reductions(base.Benchmarks, out.Benchmarks)
 	}
+	out.APIVersion = api.Version
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -147,7 +114,7 @@ func main() {
 // On single-proc runs regressions warn instead of failing: with the
 // benchmark's goroutines time-sliced onto one processor, ns/op swings far
 // past any useful allowance between back-to-back runs of an unchanged tree.
-func checkRegressions(out *File, allowPct float64) bool {
+func checkRegressions(out *api.BenchFile, allowPct float64) bool {
 	singleProc := true
 	for _, b := range out.Benchmarks {
 		if b.Procs >= 2 {
@@ -174,7 +141,7 @@ func checkRegressions(out *File, allowPct float64) bool {
 // checkMinMetric enforces one Name:metric:floor spec against the parsed
 // benchmarks. Gates on single-proc runs are skipped with a warning: they
 // exist to hold parallel speedups, which one processor cannot exhibit.
-func checkMinMetric(benchmarks []Benchmark, spec string) bool {
+func checkMinMetric(benchmarks []api.Benchmark, spec string) bool {
 	parts := strings.Split(spec, ":")
 	if len(parts) != 3 {
 		fatal(fmt.Errorf("bad -min-metric %q, want Name:metric:floor", spec))
@@ -231,20 +198,20 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func readFile(path string) (*File, error) {
+func readFile(path string) (*api.BenchFile, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var f File
+	var f api.BenchFile
 	if err := json.Unmarshal(b, &f); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return &f, nil
 }
 
-func parse(r *os.File) (*File, error) {
-	out := &File{}
+func parse(r *os.File) (*api.BenchFile, error) {
+	out := &api.BenchFile{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -273,10 +240,10 @@ func parse(r *os.File) (*File, error) {
 //
 // Units ending in /op map to the well-known fields; anything else is a
 // custom metric keyed by its unit string.
-func parseLine(line string) (Benchmark, error) {
+func parseLine(line string) (api.Benchmark, error) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || len(fields)%2 != 0 {
-		return Benchmark{}, fmt.Errorf("malformed benchmark line: %q", line)
+		return api.Benchmark{}, fmt.Errorf("malformed benchmark line: %q", line)
 	}
 	name := strings.TrimPrefix(fields[0], "Benchmark")
 	procs := 1
@@ -289,13 +256,13 @@ func parseLine(line string) (Benchmark, error) {
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return Benchmark{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		return api.Benchmark{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
 	}
-	b := Benchmark{Name: name, Iterations: iters, Procs: procs, Shards: shardsOf(name)}
+	b := api.Benchmark{Name: name, Iterations: iters, Procs: procs, Shards: shardsOf(name)}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return Benchmark{}, fmt.Errorf("bad value %q in %q: %w", fields[i], line, err)
+			return api.Benchmark{}, fmt.Errorf("bad value %q in %q: %w", fields[i], line, err)
 		}
 		switch unit := fields[i+1]; unit {
 		case "ns/op":
@@ -314,18 +281,18 @@ func parseLine(line string) (Benchmark, error) {
 	return b, nil
 }
 
-func reductions(base, cur []Benchmark) map[string]Reduction {
-	byName := make(map[string]Benchmark, len(base))
+func reductions(base, cur []api.Benchmark) map[string]api.Reduction {
+	byName := make(map[string]api.Benchmark, len(base))
 	for _, b := range base {
 		byName[b.Name] = b
 	}
-	out := map[string]Reduction{}
+	out := map[string]api.Reduction{}
 	for _, c := range cur {
 		b, ok := byName[c.Name]
 		if !ok {
 			continue
 		}
-		out[c.Name] = Reduction{
+		out[c.Name] = api.Reduction{
 			NsPerOpPct:     pctDrop(b.NsPerOp, c.NsPerOp),
 			AllocsPerOpPct: pctDrop(b.AllocsPerOp, c.AllocsPerOp),
 		}

@@ -19,6 +19,8 @@
 //	scenario     declarative fault-injection timelines (flaps, link failures,
 //	             partial and regional outages, drains, flash crowds); has its
 //	             own flags — see cdnsim scenario -h
+//	ctl          client for a running cdnsimd control-plane daemon: query
+//	             state and post verified ChangeSets; see cdnsim ctl -h
 //	load         demand, capacity, and per-site load under a technique:
 //	             offered/served/shed tables and the load-shifting fixed point
 //	             (default when -tech is given without a command)
@@ -138,6 +140,18 @@ func main() {
 		}()
 	}
 
+	if flag.NArg() >= 1 && flag.Arg(0) == "ctl" {
+		// The ctl subcommand is a pure HTTP client for a running cdnsimd
+		// daemon and owns its trailing flags — see cdnsim ctl -h.
+		if err := runCtlCmd(flag.Args()[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "cdnsim: %v\n", err)
+			if err == errReceiptFailed {
+				os.Exit(3)
+			}
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() >= 1 && flag.Arg(0) == "scenario" {
 		// The scenario subcommand owns its trailing flags and keeps stdout
 		// deterministic (no wall-clock epilogue).
@@ -157,7 +171,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cdnsim [flags] <fig2|table1|table2|fig3|fig4|fig5|c1|unicast-dns|combined|load|validate|scenario|all>")
+		fmt.Fprintln(os.Stderr, "usage: cdnsim [flags] <fig2|table1|table2|fig3|fig4|fig5|c1|unicast-dns|combined|load|validate|scenario|ctl|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

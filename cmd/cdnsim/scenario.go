@@ -126,56 +126,12 @@ func parseTechniques(spec string) ([]core.Technique, error) {
 	return out, nil
 }
 
-// resolveTechnique maps a CLI name to a technique: the paper's five plus
-// combined, the two Sinha et al. load techniques, and the composed form
-// "load-shift+<base>" (prefix-granularity shifting on top of any base).
-func resolveTechnique(name string) (core.Technique, error) {
-	if base, ok := strings.CutPrefix(name, "load-shift+"); ok {
-		bt, err := resolveTechnique(base)
-		if err != nil {
-			return nil, err
-		}
-		return core.LoadShift{Base: bt}, nil
-	}
-	for _, t := range core.SevenTechniques() {
-		if t.Name() == name {
-			return t, nil
-		}
-	}
-	for _, t := range core.AllTechniques() {
-		if t.Name() == name {
-			return t, nil
-		}
-	}
-	return nil, fmt.Errorf("unknown technique %q", name)
-}
-
-// resolveTechniques parses a comma-separated technique spec. "all" is the
-// classic six (core.AllTechniques); "seven" is the paper's five plus the
-// two load-management techniques (core.SevenTechniques).
+// resolveTechniques parses a comma-separated technique spec; the name
+// vocabulary (including "all", "seven", and "load-shift+<base>") lives in
+// core.TechniquesBySpec, shared with scenario events and control-plane
+// mutations.
 func resolveTechniques(spec string) ([]core.Technique, error) {
-	switch spec {
-	case "all":
-		return core.AllTechniques(), nil
-	case "seven":
-		return core.SevenTechniques(), nil
-	}
-	var out []core.Technique
-	for _, name := range strings.Split(spec, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
-		t, err := resolveTechnique(name)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, t)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no techniques given")
-	}
-	return out, nil
+	return core.TechniquesBySpec(spec)
 }
 
 func printScenarioResult(res *scenario.Result, sc *scenario.Scenario) {

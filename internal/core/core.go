@@ -294,6 +294,22 @@ func (c *CDN) Deploy(t Technique) error {
 // Failed reports whether the site is currently failed.
 func (c *CDN) Failed(code string) bool { return c.failed[code] }
 
+// AnnouncementsAt returns the number of live originations the controller
+// currently holds at the site (0 for unknown sites).
+func (c *CDN) AnnouncementsAt(code string) int {
+	s := c.byCode[code]
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, a := range c.announced {
+		if a.node == s.Node {
+			n++
+		}
+	}
+	return n
+}
+
 // HealthySites returns all non-failed sites.
 func (c *CDN) HealthySites() []*Site {
 	var out []*Site

@@ -1,0 +1,97 @@
+package ctlplane
+
+import (
+	"reflect"
+	"testing"
+
+	"bestofboth/pkg/bestofboth/api"
+)
+
+// diffExempt lists the api.WorldState leaves diffStates deliberately does
+// not compare, with the reason. Everything else must be diffed: a field
+// added to the schema but not to diffStates silently weakens every
+// verification receipt.
+var diffExempt = map[string]string{
+	"SiteState.Node":   "immutable wiring, pinned by Code",
+	"SiteState.Prefix": "immutable addressing plan, pinned by Code",
+	"SiteState.Addr":   "immutable addressing plan, pinned by Code",
+}
+
+// leafCount counts the comparable leaf fields of t, descending structs,
+// pointers, and slice elements (counted once — diffStates walks sites
+// pairwise).
+func leafCount(t *testing.T, typ reflect.Type, owner string) int {
+	t.Helper()
+	switch typ.Kind() {
+	case reflect.Pointer, reflect.Slice:
+		return leafCount(t, typ.Elem(), owner)
+	case reflect.Struct:
+		n := 0
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			if _, skip := diffExempt[typ.Name()+"."+f.Name]; skip {
+				continue
+			}
+			n += leafCount(t, f.Type, typ.Name()+"."+f.Name)
+		}
+		return n
+	case reflect.String, reflect.Bool, reflect.Int, reflect.Int64, reflect.Float64:
+		return 1
+	default:
+		t.Fatalf("unhandled kind %s at %s — extend leafCount and diffStates", typ.Kind(), owner)
+		return 0
+	}
+}
+
+// TestDiffStatesCoversEverySchemaField is the compile-time-adjacent twin of
+// the snapshotfields lint for the verification path: when two WorldStates
+// differ in every non-exempt leaf, diffStates must report exactly one diff
+// per leaf. Adding a field to the api schema without extending diffStates
+// (or exempting it here, with a reason) fails this test.
+func TestDiffStatesCoversEverySchemaField(t *testing.T) {
+	pred := api.WorldState{
+		VirtualTime: 1,
+		Technique:   "anycast",
+		Sites: []api.SiteState{{
+			Code: "atl", Node: "n1", Prefix: "p1", Addr: "a1",
+			Failed: false, Announcements: 1,
+			Load: &api.SiteLoad{CapacityMicroRPS: 1, OfferedMicroRPS: 2, ServedMicroRPS: 3, ShedMicroRPS: 4},
+		}},
+		Availability: api.Availability{
+			Targets: 1, Reachable: 1, ReachableShare: 1,
+			DemandTotalMicroRPS: 1, DemandServedMicroRPS: 1, DemandShedMicroRPS: 1, DemandUnservedMicroRPS: 1,
+		},
+		Digests: api.Digests{RouteStateSHA256: "r1", FIBSHA256: "f1", DNSZoneSHA256: "z1"},
+	}
+	act := api.WorldState{
+		VirtualTime: 2,
+		Technique:   "unicast",
+		Sites: []api.SiteState{{
+			Code: "bos", Node: "n2", Prefix: "p2", Addr: "a2",
+			Failed: true, Announcements: 2,
+			Load: &api.SiteLoad{CapacityMicroRPS: 5, OfferedMicroRPS: 6, ServedMicroRPS: 7, ShedMicroRPS: 8},
+		}},
+		Availability: api.Availability{
+			Targets: 2, Reachable: 0, ReachableShare: 0,
+			DemandTotalMicroRPS: 2, DemandServedMicroRPS: 2, DemandShedMicroRPS: 2, DemandUnservedMicroRPS: 2,
+		},
+		Digests: api.Digests{RouteStateSHA256: "r2", FIBSHA256: "f2", DNSZoneSHA256: "z2"},
+	}
+
+	want := leafCount(t, reflect.TypeOf(api.WorldState{}), "WorldState")
+	diffs := diffStates(pred, act)
+	if len(diffs) != want {
+		seen := map[string]bool{}
+		for _, d := range diffs {
+			seen[d.Field] = true
+		}
+		t.Fatalf("diffStates reported %d diffs for fully-divergent states; schema has %d comparable leaves.\n"+
+			"Reported: %v\nEither diffStates misses a schema field or leafCount/diffExempt is stale.",
+			len(diffs), want, seen)
+	}
+
+	// Identical states must produce the empty diff — the pass receipt.
+	if extra := diffStates(pred, pred); len(extra) != 0 {
+		t.Fatalf("identical states diffed: %v", extra)
+	}
+}

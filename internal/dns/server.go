@@ -165,6 +165,35 @@ func (s *Authoritative) RemoveA(name string) {
 	}
 }
 
+// Record is one exported record set of the zone, as returned by DumpZone.
+type Record struct {
+	Name  string
+	Type  string // "A" or "AAAA"
+	TTL   uint32
+	Addrs []netip.Addr
+}
+
+// DumpZone returns every A and AAAA record set, sorted by name then type —
+// the deterministic zone dump the control-plane API serves and fingerprints.
+func (s *Authoritative) DumpZone() []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Record, 0, len(s.a)+len(s.aaaa))
+	for name, set := range s.a {
+		out = append(out, Record{Name: name, Type: "A", TTL: set.ttl, Addrs: append([]netip.Addr(nil), set.addrs...)})
+	}
+	for name, set := range s.aaaa {
+		out = append(out, Record{Name: name, Type: "AAAA", TTL: set.ttl, Addrs: append([]netip.Addr(nil), set.addrs...)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
 // Names returns all names with A records, sorted.
 func (s *Authoritative) Names() []string {
 	s.mu.RLock()

@@ -1,11 +1,8 @@
 package experiment
 
 import (
-	"encoding/json"
-	"fmt"
-	"os"
-
 	"bestofboth/internal/stats"
+	"bestofboth/pkg/bestofboth/api"
 )
 
 // CDFSummary is the JSON-friendly form of a distribution: headline
@@ -91,29 +88,9 @@ func ExportPairs(pairs []CDFPair, points int) []TechniqueSeries {
 	return out
 }
 
-// Report accumulates experiment results for machine-readable output.
-type Report struct {
-	Seed     int64          `json:"seed"`
-	Sections map[string]any `json:"sections"`
-}
+// Report accumulates experiment results for machine-readable output — an
+// alias of the versioned api.Report wire document.
+type Report = api.Report
 
 // NewReport creates an empty report for a seed.
-func NewReport(seed int64) *Report {
-	return &Report{Seed: seed, Sections: map[string]any{}}
-}
-
-// Add stores a section by name (e.g. "figure2", "table1").
-func (r *Report) Add(name string, v any) { r.Sections[name] = v }
-
-// WriteFile serializes the report as indented JSON.
-func (r *Report) WriteFile(path string) error {
-	data, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return fmt.Errorf("experiment: marshaling report: %w", err)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return fmt.Errorf("experiment: writing report: %w", err)
-	}
-	return nil
-}
+func NewReport(seed int64) *Report { return api.NewReport(seed) }

@@ -196,6 +196,52 @@ func TestDrainDuringOverloadClearsShed(t *testing.T) {
 			off, srv, shd, total)
 	}
 	checkShedInvariant(t, acct)
+
+	// Technique switch mid-accounting: SwitchTechnique must itself re-fold
+	// load under the new technique and its shedding policy — before any
+	// explicit Converge/RefreshLoad — so the accountant never carries shed
+	// counters from the load-shed era into a non-shedding technique.
+	if err := w.CDN.SwitchTechnique(core.Unicast{}); err != nil {
+		t.Fatal(err)
+	}
+	if acct.Shedding() {
+		t.Fatal("switched to unicast but shedding policy is still on")
+	}
+	if _, _, shd := acct.Totals(); shd != 0 {
+		t.Fatalf("switched to unicast (no shedding) but total shed is %d, want 0", shd)
+	}
+	checkShedInvariant(t, acct)
+	w.Converge(3600)
+	w.CDN.RefreshLoad()
+	checkShedInvariant(t, acct)
+
+	// Switching back with an open failure episode must replay the failure
+	// under the new technique and refresh again: the drained site's
+	// counters are zero immediately after the switch.
+	if _, err := w.CDN.DrainSite(acct.SiteCode(0)); err != nil {
+		t.Fatal(err)
+	}
+	w.Converge(3600)
+	if err := w.CDN.SwitchTechnique(core.LoadShed{}); err != nil {
+		t.Fatal(err)
+	}
+	if !acct.Shedding() {
+		t.Fatal("switched back to load-shed but shedding policy is off")
+	}
+	if acct.Offered(0) != 0 || acct.Shed(0) != 0 {
+		t.Fatalf("drained site %s retains offered %d / shed %d across a technique switch",
+			acct.SiteCode(0), acct.Offered(0), acct.Shed(0))
+	}
+	w.Converge(3600)
+	w.CDN.RefreshLoad()
+	if acct.Offered(0) != 0 {
+		t.Fatalf("drained site %s attracts offered %d under the switched technique, want 0",
+			acct.SiteCode(0), acct.Offered(0))
+	}
+	if acct.Unserved() != 0 {
+		t.Fatalf("healthy sites announce anycast but unserved is %d, want 0", acct.Unserved())
+	}
+	checkShedInvariant(t, acct)
 }
 
 // TestPaperScaleLoadShiftFixedPoint is the acceptance gate for the

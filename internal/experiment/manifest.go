@@ -3,7 +3,6 @@ package experiment
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
@@ -14,6 +13,7 @@ import (
 	"bestofboth/internal/obs"
 	"bestofboth/internal/topology"
 	"bestofboth/internal/traffic"
+	"bestofboth/pkg/bestofboth/api"
 )
 
 // Digest is a stable hex fingerprint of the simulation-identity fields of
@@ -37,38 +37,18 @@ func (c WorldConfig) Digest() string {
 	return hex.EncodeToString(sum[:])
 }
 
-// Manifest records how one experiment invocation ran: enough to reproduce
-// it (seed, config digest, command) and enough to sanity-check it (the
-// final metric snapshot). It is written next to JSON experiment output as
-// <output>.manifest.json.
-type Manifest struct {
-	// Command is the cdnsim subcommand (or other caller-chosen label).
-	Command string `json:"command"`
-	// Seed is the simulation seed shared by every run of the invocation.
-	Seed int64 `json:"seed"`
-	// ConfigDigest fingerprints the world configuration; equal digests +
-	// equal seeds ⇒ bit-identical simulations.
-	ConfigDigest string `json:"configDigest"`
-	// Workers is the concurrency bound the invocation ran under. It never
-	// affects results; recorded for performance forensics only.
-	Workers int `json:"workers"`
-	// Metrics is the registry snapshot at write time (volatile metrics
-	// included — the manifest describes this invocation, not the abstract
-	// simulation).
-	Metrics []obs.MetricSnapshot `json:"metrics,omitempty"`
-	// Mem records the process memory footprint at write time; nil unless
-	// the caller asked for it (cdnsim fills it when -metrics is set).
-	Mem *MemFootprint `json:"mem,omitempty"`
-	// Demand summarizes the demand model (aggregate demand and capacity,
-	// Gini coefficient, top-decile share) when the configuration enables
-	// it; nil otherwise.
-	Demand *traffic.Summary `json:"demand,omitempty"`
-}
+// Manifest is the versioned wire document recording how one experiment
+// invocation ran — an alias of the public api.Manifest so the manifest,
+// the daemon's responses, and -json output share one schema.
+type Manifest = api.Manifest
+
+// MemFootprint is the wire form of one invocation's memory cost.
+type MemFootprint = api.MemFootprint
 
 // DemandSummary rebuilds the config's demand model — a pure function of
 // (Demand config, Seed, topology) — and condenses it for the manifest.
 // It returns nil when demand is disabled or the model cannot be built.
-func DemandSummary(cfg WorldConfig) *traffic.Summary {
+func DemandSummary(cfg WorldConfig) *api.DemandSummary {
 	cfg.fillDefaults()
 	if !cfg.Demand.Enabled {
 		return nil
@@ -87,21 +67,44 @@ func DemandSummary(cfg WorldConfig) *traffic.Summary {
 	if err != nil {
 		return nil
 	}
-	s := model.Summary()
-	return &s
+	return demandSummaryOf(model.Summary())
 }
 
-// MemFootprint captures the memory cost of one invocation — the numbers
-// paper-scale runs need on record to argue the kernel scales.
-type MemFootprint struct {
-	// PeakRSSBytes is the process's high-water resident set (VmHWM),
-	// 0 where the OS does not expose it.
-	PeakRSSBytes uint64 `json:"peakRSSBytes"`
-	// TotalAllocBytes is the cumulative heap bytes allocated over the
-	// process lifetime (runtime.MemStats.TotalAlloc).
-	TotalAllocBytes uint64 `json:"totalAllocBytes"`
-	// Mallocs is the cumulative count of heap objects allocated.
-	Mallocs uint64 `json:"mallocs"`
+// demandSummaryOf converts the internal traffic summary to its wire twin.
+func demandSummaryOf(s traffic.Summary) *api.DemandSummary {
+	return &api.DemandSummary{
+		Targets:        s.Targets,
+		TotalRPS:       s.TotalRPS,
+		CapacityRPS:    s.CapacityRPS,
+		Gini:           s.Gini,
+		TopDecileShare: s.TopDecileShare,
+		Distribution:   s.Distribution,
+	}
+}
+
+// metricSamples converts a registry snapshot to the wire representation.
+// reg may be nil (nil in, nil out).
+func metricSamples(reg *obs.Registry) []api.MetricSample {
+	snap := reg.Snapshot()
+	if snap == nil {
+		return nil
+	}
+	out := make([]api.MetricSample, 0, len(snap))
+	for _, m := range snap {
+		ms := api.MetricSample{
+			Name:     m.Name,
+			Kind:     m.Kind,
+			Value:    m.Value,
+			Count:    m.Count,
+			Sum:      m.Sum,
+			Volatile: m.Volatile,
+		}
+		for _, b := range m.Buckets {
+			ms.Buckets = append(ms.Buckets, api.HistBucket{LE: b.LE, Count: b.Count})
+		}
+		out = append(out, ms)
+	}
+	return out
 }
 
 // ReadMemFootprint samples the current process's memory footprint.
@@ -142,22 +145,14 @@ func peakRSSBytes() uint64 {
 // NewManifest assembles a manifest for one invocation. reg may be nil.
 func NewManifest(command string, cfg WorldConfig, workers int, reg *obs.Registry) Manifest {
 	return Manifest{
+		APIVersion:   api.Version,
 		Command:      command,
 		Seed:         cfg.Seed,
 		ConfigDigest: cfg.Digest(),
 		Workers:      workers,
-		Metrics:      reg.Snapshot(),
+		Metrics:      metricSamples(reg),
 		Demand:       DemandSummary(cfg),
 	}
-}
-
-// WriteFile writes the manifest as indented JSON.
-func (m Manifest) WriteFile(path string) error {
-	b, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return fmt.Errorf("experiment: encoding manifest: %w", err)
-	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // ManifestPath derives the manifest location from a JSON output path:

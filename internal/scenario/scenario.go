@@ -24,6 +24,7 @@ import (
 	"slices"
 	"sort"
 
+	"bestofboth/internal/core"
 	"bestofboth/internal/topology"
 )
 
@@ -80,6 +81,19 @@ const (
 	// hard upper bound on the grace period. Without a demand model it
 	// degrades to a plain drain with a DrainFor grace.
 	KindCapacityDrain Kind = "capacity-drain"
+	// KindSwitchTechnique replaces the deployed technique live (Technique
+	// names the target): every announcement is withdrawn and the new
+	// technique's normal-operation set installed, with open failure
+	// episodes replayed under the new technique.
+	KindSwitchTechnique Kind = "switch-technique"
+	// KindDemandScale multiplies every target's demand by Fraction,
+	// permanently (integer thousandths arithmetic, deterministic). Requires
+	// a demand model.
+	KindDemandScale Kind = "demand-scale"
+	// KindAnnouncePolicy re-originates Site's own prefix with Count AS-path
+	// prepends (0 restores the plain announcement) — the routine
+	// traffic-engineering knob.
+	KindAnnouncePolicy Kind = "announce-policy"
 )
 
 // Event is one entry on a scenario timeline. Which fields are meaningful
@@ -111,6 +125,9 @@ type Event struct {
 	// DrainFor is the grace period of a drain: seconds the site keeps
 	// forwarding after its announcements are withdrawn.
 	DrainFor float64 `json:"drainFor,omitempty"`
+	// Technique is the target technique name for switch-technique
+	// (core.TechniqueByName vocabulary).
+	Technique string `json:"technique,omitempty"`
 }
 
 // Scenario is a named fault-injection timeline.
@@ -137,7 +154,7 @@ func (e *Event) needsSite() bool {
 	case KindCrash, KindFail, KindRecover, KindDrain,
 		KindPartialFail, KindPartialRestore,
 		KindRegionalFail, KindRegionalRecover, KindFlap,
-		KindFlashCrowd, KindCapacityDrain:
+		KindFlashCrowd, KindCapacityDrain, KindAnnouncePolicy:
 		return true
 	}
 	return false
@@ -201,6 +218,18 @@ func (s *Scenario) Validate() error {
 		case KindCapacityDrain:
 			if e.DrainFor <= 0 {
 				return fmt.Errorf("%s: needs a positive drainFor (grace bound)", where)
+			}
+		case KindSwitchTechnique:
+			if e.Technique == "" {
+				return fmt.Errorf("%s: needs a technique name", where)
+			}
+		case KindDemandScale:
+			if e.Fraction <= 0 {
+				return fmt.Errorf("%s: needs a positive fraction (demand multiplier)", where)
+			}
+		case KindAnnouncePolicy:
+			if e.Count < 0 {
+				return fmt.Errorf("%s: negative prepend count %d", where, e.Count)
 			}
 		default:
 			return fmt.Errorf("scenario %s: event %d: unknown kind %q", s.Name, i, e.Kind)
@@ -503,8 +532,73 @@ func bindEvent(env *Env, e *Event) ([]action, error) {
 			env.Sim.After(5, poll)
 			return nil
 		}}}, nil
+	case KindSwitchTechnique:
+		// Resolve the name at bind time so a bad technique fails the whole
+		// scenario before any event runs.
+		t, err := core.TechniqueByName(e.Technique)
+		if err != nil {
+			return nil, err
+		}
+		return []action{{e.At, e.Kind, "switch-technique " + e.Technique, func(env *Env) error {
+			return env.CDN.SwitchTechnique(t)
+		}}}, nil
+	case KindDemandScale:
+		mult := e.Fraction
+		label := fmt.Sprintf("demand-scale x%g", mult)
+		return []action{{e.At, e.Kind, label, func(env *Env) error {
+			m := env.CDN.Demand()
+			if m == nil {
+				return fmt.Errorf("demand-scale needs a demand model (set Scenario.Demand or configure one)")
+			}
+			// Thousandths arithmetic, as flash crowds: exact and
+			// platform-independent. Collect first — mutating under Each
+			// would be order-fragile.
+			num := int64(math.Round(mult * 1000))
+			var ids []topology.NodeID
+			m.Each(func(id topology.NodeID, _ int64, _ int) { ids = append(ids, id) })
+			for _, id := range ids {
+				m.ScaleRate(id, num, 1000)
+			}
+			env.CDN.RefreshLoad()
+			return nil
+		}}}, nil
+	case KindAnnouncePolicy:
+		if err := env.checkSite(e.Site); err != nil {
+			return nil, err
+		}
+		site, prepends := e.Site, e.Count
+		label := fmt.Sprintf("announce-policy %s prepend=%d", site, prepends)
+		return []action{{e.At, e.Kind, label, func(env *Env) error {
+			return env.CDN.SetAnnouncePolicy(site, prepends)
+		}}}, nil
 	}
 	return nil, fmt.Errorf("unknown kind %q", e.Kind)
+}
+
+// ApplyEvents validates, binds, and applies events against the world
+// immediately, in list order, ignoring At — the control plane's entry
+// point for executing a ChangeSet's mutations at the present virtual
+// instant. Composite events (flaps, drains with grace periods) still
+// schedule their follow-up work on the kernel clock; the caller owns
+// convergence afterwards. On error, earlier events in the list have
+// already been applied.
+func ApplyEvents(env *Env, events []Event) error {
+	s := &Scenario{Name: "changeset", Events: events}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	for i := range events {
+		acts, err := bindEvent(env, &events[i])
+		if err != nil {
+			return fmt.Errorf("scenario: event %d: %w", i, err)
+		}
+		for _, a := range acts {
+			if err := a.apply(env); err != nil {
+				return fmt.Errorf("scenario: %s: %w", a.label, err)
+			}
+		}
+	}
+	return nil
 }
 
 func joinSites(codes []string) string {

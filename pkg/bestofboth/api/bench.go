@@ -1,0 +1,41 @@
+package api
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"nsPerOp"`
+	BytesPerOp  float64            `json:"bytesPerOp,omitempty"`
+	AllocsPerOp float64            `json:"allocsPerOp,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	// Procs is the GOMAXPROCS the benchmark ran under (the -P name
+	// suffix; 1 when absent). Wall-clock parallelism gates consult it:
+	// a single-proc run cannot demonstrate a parallel speedup.
+	Procs int `json:"procs,omitempty"`
+	// Shards is the shard count parsed from a /shards=N sub-benchmark
+	// path segment; 0 for unsharded benchmarks.
+	Shards int `json:"shards,omitempty"`
+}
+
+// Reduction is the improvement of a benchmark relative to the baseline, in
+// percent (positive = better/lower).
+type Reduction struct {
+	NsPerOpPct     float64 `json:"nsPerOpPct"`
+	AllocsPerOpPct float64 `json:"allocsPerOpPct"`
+}
+
+// BenchFile is the document benchjson writes (and reads back as a
+// baseline). Baselines from before the schema was versioned unmarshal
+// fine: APIVersion is simply empty.
+type BenchFile struct {
+	// APIVersion is the wire-schema version (Version).
+	APIVersion string      `json:"apiVersion,omitempty"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Baseline   []Benchmark `json:"baseline,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// ReductionsVsBaselinePct maps benchmark name to its improvement over
+	// the embedded baseline.
+	ReductionsVsBaselinePct map[string]Reduction `json:"reductionsVsBaselinePct,omitempty"`
+}

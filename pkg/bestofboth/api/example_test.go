@@ -1,0 +1,48 @@
+package api_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"bestofboth/pkg/bestofboth/api"
+)
+
+// ExampleChangeSet shows the wire shape of a dry-run ChangeSet the
+// control-plane daemon returns: the intended mutations plus the predicted
+// per-site effect.
+func ExampleChangeSet() {
+	cs := api.ChangeSet{
+		APIVersion: api.Version,
+		ID:         "cs-000001",
+		Status:     api.StatusDryRun,
+		Mutations:  []api.Mutation{{Kind: "drain", Site: "atl", DrainFor: 600}},
+		Delta: api.Delta{
+			ReachableShare: 0,
+			Sites: []api.SiteDelta{
+				{Site: "atl", Transition: "failed", OfferedMicroRPS: -15000000},
+				{Site: "bos", OfferedMicroRPS: 15000000},
+			},
+		},
+	}
+	b, _ := json.Marshal(cs.Delta.Sites[0])
+	fmt.Println(cs.ID, cs.Status)
+	fmt.Println(string(b))
+	// Output:
+	// cs-000001 dry-run
+	// {"site":"atl","transition":"failed","offeredMicroRPS":-15000000}
+}
+
+// ExampleHistBucket shows why histogram buckets carry a custom codec: the
+// +Inf overflow bound survives JSON, which rejects infinite float64s.
+func ExampleHistBucket() {
+	buckets := []api.HistBucket{{LE: 60, Count: 6}, {LE: math.Inf(1), Count: 7}}
+	b, _ := json.Marshal(buckets)
+	fmt.Println(string(b))
+	var back []api.HistBucket
+	json.Unmarshal(b, &back)
+	fmt.Println(back[1].Count, math.IsInf(back[1].LE, 1))
+	// Output:
+	// [{"le":"60","count":6},{"le":"+Inf","count":7}]
+	// 7 true
+}

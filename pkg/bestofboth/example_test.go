@@ -1,0 +1,70 @@
+package bestofboth_test
+
+import (
+	"errors"
+	"fmt"
+
+	"bestofboth/pkg/bestofboth"
+)
+
+// Example builds a small world, deploys the paper's headline technique, and
+// walks one site through a failure and recovery — the facade's core loop.
+func Example() {
+	w, err := bestofboth.NewWorld(bestofboth.DefaultWorldConfig(
+		bestofboth.WithSeed(9),
+		bestofboth.WithScale(0.1),
+	))
+	if err != nil {
+		panic(err)
+	}
+	if err := w.CDN.Deploy(bestofboth.ReactiveAnycast{}); err != nil {
+		panic(err)
+	}
+	w.Converge(3600)
+
+	tr, err := w.CDN.FailSite("atl")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tr.Site, tr.Kind == bestofboth.TransitionFail)
+	w.Sim.RunFor(120)
+
+	if _, err := w.CDN.FailSite("nowhere"); errors.Is(err, bestofboth.ErrUnknownSite) {
+		fmt.Println("unknown site rejected")
+	}
+	_, err = w.CDN.RecoverSite("atl")
+	fmt.Println("recovered:", err == nil)
+	// Output:
+	// atl true
+	// unknown site rejected
+	// recovered: true
+}
+
+// ExampleTechniqueByName resolves techniques from the shared name
+// vocabulary used by cdnsim -tech and the control plane's switch-technique
+// mutation.
+func ExampleTechniqueByName() {
+	for _, name := range []string{"reactive-anycast", "load-shift", "load-shift+proactive-prepending"} {
+		t, err := bestofboth.TechniqueByName(name)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(t.Name())
+	}
+	if _, err := bestofboth.TechniqueByName("carrier-pigeon"); errors.Is(err, bestofboth.ErrBadTechnique) {
+		fmt.Println("unknown technique rejected")
+	}
+	// Output:
+	// reactive-anycast
+	// load-shift
+	// load-shift+proactive-prepending
+	// unknown technique rejected
+}
+
+// ExampleServiceAddr shows the deterministic site addressing plan.
+func ExampleServiceAddr() {
+	p := bestofboth.SitePrefix(0)
+	fmt.Println(p, bestofboth.ServiceAddr(p))
+	// Output:
+	// 184.164.240.0/24 184.164.240.10
+}

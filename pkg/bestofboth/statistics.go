@@ -1,0 +1,17 @@
+package bestofboth
+
+import (
+	"bestofboth/internal/stats"
+)
+
+// CDF is an empirical distribution with percentile accessors.
+type CDF = stats.CDF
+
+// Table renders fixed-width text tables.
+type Table = stats.Table
+
+// NewCDF builds an empirical CDF from samples.
+func NewCDF(samples []float64) *CDF { return stats.NewCDF(samples) }
+
+// Pct formats a share in [0,1] as a percentage.
+func Pct(f float64) string { return stats.Pct(f) }
