@@ -22,11 +22,15 @@
 //   - -max-regression-pct P fails the run when any benchmark shared with the
 //     baseline regressed more than P% in ns/op;
 //   - -min-metric Name:metric:floor (repeatable) fails the run when a custom
-//     metric falls below its floor — e.g. the ≥2x sharded-convergence
+//     metric falls below its floor — e.g. the ≥3x sharded-convergence
 //     speedup. Parallel-speedup floors are unprovable on one processor, so
-//     single-proc runs downgrade the gate to a warning.
+//     single-proc runs downgrade the gate to a warning;
+//   - -max-metric Name:metric:ceiling (repeatable) fails the run when a
+//     custom metric exceeds its ceiling — e.g. the ≤1.15 profiled-partition
+//     event imbalance. Event counts are machine-deterministic, so unlike
+//     the other gates this one holds on single-proc runs too.
 //
-// Both gates downgrade to warnings on single-proc runs: one processor
+// The first two gates downgrade to warnings on single-proc runs: one processor
 // cannot exhibit a parallel speedup, and its ns/op timings are dominated
 // by scheduler interference between the benchmark's goroutines (the
 // goroutine-per-shard benches especially), far outside the regression
@@ -63,6 +67,10 @@ func main() {
 	flag.Var(&minMetrics, "min-metric",
 		"Name:metric:floor — exit nonzero if the named benchmark's custom metric is below floor; repeatable. "+
 			"Skipped with a warning on single-proc runs, which cannot demonstrate parallel speedups.")
+	var maxMetrics multiFlag
+	flag.Var(&maxMetrics, "max-metric",
+		"Name:metric:ceiling — exit nonzero if the named benchmark's custom metric exceeds ceiling; repeatable. "+
+			"Enforced on single-proc runs too: the gated metrics are machine-deterministic counts, not timings.")
 	flag.Parse()
 
 	out, err := parse(os.Stdin)
@@ -103,6 +111,9 @@ func main() {
 	}
 	for _, spec := range minMetrics {
 		failed = checkMinMetric(out.Benchmarks, spec) || failed
+	}
+	for _, spec := range maxMetrics {
+		failed = checkMaxMetric(out.Benchmarks, spec) || failed
 	}
 	if failed {
 		os.Exit(1)
@@ -172,6 +183,39 @@ func checkMinMetric(benchmarks []api.Benchmark, spec string) bool {
 		return false
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: FAIL min-metric %s: benchmark not found in output\n", spec)
+	return true
+}
+
+// checkMaxMetric enforces one Name:metric:ceiling spec against the parsed
+// benchmarks. Unlike checkMinMetric it holds on single-proc runs: ceilings
+// gate deterministic event counts (e.g. partition imbalance), which do not
+// depend on the processors available.
+func checkMaxMetric(benchmarks []api.Benchmark, spec string) bool {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		fatal(fmt.Errorf("bad -max-metric %q, want Name:metric:ceiling", spec))
+	}
+	name, metric := parts[0], parts[1]
+	ceiling, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		fatal(fmt.Errorf("bad -max-metric ceiling in %q: %w", spec, err))
+	}
+	for _, b := range benchmarks {
+		if b.Name != name {
+			continue
+		}
+		v, ok := b.Metrics[metric]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s did not report metric %q\n", name, metric)
+			return true
+		}
+		if v > ceiling {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s %s=%.3f above ceiling %.3f\n", name, metric, v, ceiling)
+			return true
+		}
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: FAIL max-metric %s: benchmark not found in output\n", spec)
 	return true
 }
 

@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"os/exec"
 	"path/filepath"
@@ -78,6 +79,28 @@ func TestCtlplaneSmoke(t *testing.T) {
 			t.Fatalf("cdnsim ctl %v exited %d, want %d\n%s", args, exit, wantExit, out)
 		}
 		return out
+	}
+
+	// The daemon's Prometheus scrape endpoint: text exposition 0.0.4 with
+	// at least the kernel step counter present. The daemon runs with
+	// -metrics default-on, so this closes the registry → scrape loop.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	metricsBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading /metrics: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d\n%s", resp.StatusCode, metricsBody)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("GET /metrics: content type %q, want Prometheus text 0.0.4", ct)
+	}
+	if !strings.Contains(string(metricsBody), "netsim_events_executed_total") {
+		t.Fatalf("/metrics exposition lacks netsim_events_executed_total:\n%.2000s", metricsBody)
 	}
 
 	var st api.WorldState

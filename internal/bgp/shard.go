@@ -3,7 +3,6 @@ package bgp
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"bestofboth/internal/netsim"
 	"bestofboth/internal/topology"
@@ -170,56 +169,6 @@ func (n *Network) mergeFeeds(src *shard) {
 	src.feedOut = src.feedOut[:0]
 }
 
-// PlanShards deterministically partitions the topology's speakers into n
-// shards. The partition is topology-aware: nodes are laid out in BFS order
-// from a seeded start node and cut into n contiguous, balanced spans, so
-// neighborhoods tend to land on the same shard and cut edges are fewer than
-// a round-robin split would leave. Equal (topo, n, seed) always yields the
-// same assignment.
-func PlanShards(topo *topology.Topology, n int, seed int64) []int {
-	assign := make([]int, topo.Len())
-	if n <= 1 {
-		return assign
-	}
-	order := make([]topology.NodeID, 0, topo.Len())
-	visited := make([]bool, topo.Len())
-	queue := make([]topology.NodeID, 0, topo.Len())
-	rng := rand.New(rand.NewSource(seed))
-	start := topology.NodeID(rng.Intn(topo.Len()))
-	for scan := 0; len(order) < topo.Len(); scan++ {
-		if !visited[start] {
-			visited[start] = true
-			queue = append(queue, start)
-		}
-		for len(queue) > 0 {
-			id := queue[0]
-			queue = queue[1:]
-			order = append(order, id)
-			for _, adj := range topo.Node(id).Adj {
-				if !visited[adj.To] {
-					visited[adj.To] = true
-					queue = append(queue, adj.To)
-				}
-			}
-		}
-		// Disconnected remainder: restart from the lowest unvisited ID.
-		for i := range visited {
-			if !visited[i] {
-				start = topology.NodeID(i)
-				break
-			}
-		}
-	}
-	for i, id := range order {
-		s := i * n / len(order)
-		if s >= n {
-			s = n - 1
-		}
-		assign[id] = s
-	}
-	return assign
-}
-
 // lookahead computes the barrier window for an assignment: the minimum
 // virtual latency any cross-shard message can carry, i.e. the smallest
 // cut-edge link delay plus the minimum processing delay. Returns +Inf when
@@ -242,23 +191,58 @@ func shardSeed(seed int64, i int) int64 {
 	return seed + int64(i+1)*1_000_003
 }
 
+// noCutWindow picks the barrier window for an assignment with no cut edges
+// (every speaker landed on one shard — degenerate tiny topology, or n far
+// above the node count). With nothing ever crossing shards, any positive
+// window is conservative — it only sets round granularity — so we use the
+// window the assignment WOULD have if the topology's lowest-latency link
+// were cut: min link delay anywhere + ProcMin. A topology with no links at
+// all falls back to ProcMin alone, and if that is also zero, to one virtual
+// second.
+func noCutWindow(topo *topology.Topology, cfg Config) netsim.Seconds {
+	minDelay := math.Inf(1)
+	for _, node := range topo.Nodes {
+		for _, adj := range node.Adj {
+			if adj.Delay < minDelay {
+				minDelay = adj.Delay
+			}
+		}
+	}
+	window := cfg.ProcMin
+	if !math.IsInf(minDelay, 1) {
+		window += minDelay
+	}
+	if window <= 0 {
+		window = 1
+	}
+	return window
+}
+
 // NewSharded builds a Network whose speakers are partitioned across nShards
 // shard simulators coordinated by a netsim.ShardRunner attached to sim (the
 // control simulator). All world-level actors — fault injection, probers,
 // monitors, collector feeds, scenario timelines — stay on sim and execute
 // at barriers with every shard parked, so control actions keep their exact
-// sequential semantics. nShards <= 1 degrades to New.
+// sequential semantics. nShards <= 1 degrades to New. Speakers are
+// partitioned by PlanShards' static cost model; NewShardedWeighted accepts
+// a measured work profile instead.
 func NewSharded(sim *netsim.Sim, topo *topology.Topology, cfg Config, nShards int, seed int64) (*Network, error) {
+	return NewShardedWeighted(sim, topo, cfg, nShards, seed, nil)
+}
+
+// NewShardedWeighted is NewSharded with an explicit per-speaker work
+// profile for the partitioner (see PlanShardsWeighted); nil means the
+// static cost model. Weights steer only the placement of speakers onto
+// shards — converged route state and FIB digests are bit-identical for any
+// profile at any shard count.
+func NewShardedWeighted(sim *netsim.Sim, topo *topology.Topology, cfg Config, nShards int, seed int64, weights []float64) (*Network, error) {
 	if nShards <= 1 {
 		return New(sim, topo, cfg), nil
 	}
-	assign := PlanShards(topo, nShards, seed)
+	assign := PlanShardsWeighted(topo, nShards, seed, weights)
 	window := lookahead(topo, cfg, assign)
 	if math.IsInf(window, 1) {
-		// No cut edges: every speaker landed on one shard (degenerate tiny
-		// topology). Any window is conservative; one processing delay keeps
-		// rounds coarse.
-		window = cfg.ProcMin + 1
+		window = noCutWindow(topo, cfg)
 	}
 	if window <= 0 {
 		return nil, fmt.Errorf("bgp: cannot shard: lookahead %g <= 0 (zero-delay cut edge with ProcMin=0)", window)

@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"bestofboth/internal/bgp"
+	"bestofboth/internal/core"
+	"bestofboth/internal/netsim"
+	"bestofboth/internal/topology"
+)
+
+// Profile-guided shard partitioning.
+//
+// The static cost model in bgp.StaticSpeakerWeights predicts per-speaker
+// work from topology shape alone. The profiled mode replaces the
+// prediction with a measurement: a short seeded warm-up converge on an
+// UNSHARDED network records how many calendar events each speaker actually
+// cost (bgp.Network.SpeakerEventCounts), and those counts become the
+// partition weights for every sharded world built from the config.
+//
+// The warm-up originates the anycast prefix from every CDN site plus each
+// site's unicast prefix — the union of the waves every technique's deploy
+// sends — and converges up to profileHorizon virtual seconds. It is a pure
+// function of (seed, topology, BGP config): deterministic, identical for
+// every shard count, and therefore digest-neutral. Profiles are memoized
+// per config so restore paths and experiment matrices pay for one warm-up,
+// not one per world.
+
+// Partition mode names for WorldConfig.Partition.
+const (
+	// PartitionStatic partitions speakers with the static cost model
+	// (bgp.PlanShards). The default.
+	PartitionStatic = "static"
+	// PartitionProfiled partitions speakers by measured per-speaker event
+	// counts from a seeded warm-up converge.
+	PartitionProfiled = "profiled"
+)
+
+// profileHorizon bounds the warm-up converge in virtual seconds. The
+// deploy wave settles in well under this at every bundled scale; the bound
+// exists so a pathological configuration cannot stall world construction.
+const profileHorizon = 3600
+
+// profileCap bounds the profile cache, mirroring worldSnapCap: an entry is
+// a float64 per topology node, so internet-scale profiles are ~0.6 MiB.
+const profileCap = 16
+
+var profiles struct {
+	mu sync.Mutex
+	m  map[string]*profileEntry
+}
+
+type profileEntry struct {
+	once    sync.Once
+	weights []float64
+	err     error
+}
+
+// profileKey canonicalizes the warm-up identity: only the fields that can
+// change the warm-up's event stream participate.
+func profileKey(cfg WorldConfig) string {
+	damp := "<nil>"
+	if cfg.BGP.Damping != nil {
+		damp = fmt.Sprintf("%+v", *cfg.BGP.Damping)
+	}
+	flat := cfg.BGP
+	flat.Damping = nil
+	return fmt.Sprintf("seed=%d topo=%+v bgp=%+v damp=%s", cfg.Seed, cfg.Topology, flat, damp)
+}
+
+// profiledWeights returns the measured per-speaker work profile for cfg,
+// running (or reusing) the warm-up converge. cfg must already have
+// defaults filled.
+func profiledWeights(cfg WorldConfig) ([]float64, error) {
+	key := profileKey(cfg)
+	profiles.mu.Lock()
+	if profiles.m == nil {
+		profiles.m = make(map[string]*profileEntry)
+	}
+	e, ok := profiles.m[key]
+	if !ok && len(profiles.m) < profileCap {
+		e = &profileEntry{}
+		profiles.m[key] = e
+	}
+	profiles.mu.Unlock()
+	if e == nil {
+		// Cache full: profile without memoizing (still deterministic).
+		return runProfile(cfg)
+	}
+	e.once.Do(func() { e.weights, e.err = runProfile(cfg) })
+	return e.weights, e.err
+}
+
+// runProfile executes one warm-up converge and returns the per-speaker
+// event counts as partition weights.
+func runProfile(cfg WorldConfig) ([]float64, error) {
+	topo, err := topology.Cached(cfg.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: profiling partition: %w", err)
+	}
+	sim := netsim.New(cfg.Seed)
+	net := bgp.New(sim, topo, cfg.BGP)
+	sites := topo.NodesOfClass(topology.ClassCDN)
+	for i, site := range sites {
+		if err := net.Originate(site.ID, core.AnycastPrefix, nil); err != nil {
+			return nil, fmt.Errorf("experiment: profiling partition: %w", err)
+		}
+		if err := net.Originate(site.ID, core.SitePrefix(i), nil); err != nil {
+			return nil, fmt.Errorf("experiment: profiling partition: %w", err)
+		}
+	}
+	net.ConvergeSynchronously(profileHorizon)
+	counts := net.SpeakerEventCounts()
+	weights := make([]float64, len(counts))
+	for i, c := range counts {
+		weights[i] = 1 + float64(c)
+	}
+	return weights, nil
+}
