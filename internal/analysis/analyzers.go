@@ -5,7 +5,8 @@ import (
 	"strings"
 )
 
-// All returns every registered analyzer, in stable order.
+// All returns every registered analyzer, in stable order: the five
+// syntactic PR 5 checks, then the five deeper PR 10 passes.
 func All() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerDetrand,
@@ -13,6 +14,11 @@ func All() []*Analyzer {
 		AnalyzerRoutefreeze,
 		AnalyzerAllocfree,
 		AnalyzerSnapshotfields,
+		AnalyzerShardsafe,
+		AnalyzerDetflow,
+		AnalyzerWirestable,
+		AnalyzerErrcmp,
+		AnalyzerObsnames,
 	}
 }
 

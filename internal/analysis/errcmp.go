@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerErrcmp (cdnlint/errcmp) flags sentinel errors (package-level
+// error variables: core.Err*, io.EOF, cmd-local sentinels) compared with
+// == or != instead of errors.Is. Direct comparison silently stops
+// matching the moment any layer wraps the error with %w — which the
+// repo's fmt.Errorf-based error paths do liberally — so the comparison
+// becomes a latent never-true branch. Comparisons against nil are the
+// idiom and stay allowed; switch statements over an error value are the
+// same trap in case-clause clothing and are flagged too.
+var AnalyzerErrcmp = &Analyzer{
+	Name: "errcmp",
+	Doc: "flag ==/!= (and switch cases) against package-level sentinel errors; " +
+		"use errors.Is so wrapped errors still match",
+	Run: runErrcmp,
+}
+
+var errcmpErrorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func runErrcmp(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				if isNilExpr(pass, x.X) || isNilExpr(pass, x.Y) {
+					return true
+				}
+				s := sentinelErr(pass, x.X)
+				if s == nil {
+					s = sentinelErr(pass, x.Y)
+				}
+				if s != nil {
+					pass.Reportf(x.OpPos, "sentinel error %s compared with %s; use errors.Is so the "+
+						"comparison survives %%w wrapping", s.Name(), x.Op)
+				}
+			case *ast.SwitchStmt:
+				if x.Tag == nil {
+					return true
+				}
+				t := typeOf(pass.Info, x.Tag)
+				if t == nil || !types.Implements(t, errcmpErrorIface) {
+					return true
+				}
+				for _, stmt := range x.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if s := sentinelErr(pass, e); s != nil {
+							pass.Reportf(e.Pos(), "switch case compares sentinel error %s with ==; use "+
+								"errors.Is in an if/else chain so the comparison survives %%w wrapping", s.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// sentinelErr resolves e to a package-level error variable, or nil.
+func sentinelErr(pass *Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !types.Implements(v.Type(), errcmpErrorIface) {
+		return nil
+	}
+	return v
+}

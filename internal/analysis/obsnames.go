@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// AnalyzerObsnames (cdnlint/obsnames) keeps the obs metric namespace
+// statically known: every name passed to Registry.Counter / Gauge /
+// Histogram (and the Volatile variants) must be a compile-time constant
+// and a valid Prometheus metric name, and within a package each name must
+// be registered from exactly one call site. Dynamic names fragment the
+// metric namespace per run (cardinality no dashboard can predict), invalid
+// names fail only when a scraper finally parses the exposition, and
+// duplicate registrations either alias one time series from two owners or
+// — name reused across kinds — panic the registry. The obs package itself
+// is exempt: its Volatile* wrappers forward the caller's name by design.
+var AnalyzerObsnames = &Analyzer{
+	Name: "obsnames",
+	Doc: "require obs metric names to be compile-time constants, valid Prometheus names, " +
+		"registered from exactly one call site per package",
+	Run: runObsnames,
+}
+
+var promNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// obsRegKinds maps Registry method names to the registered kind.
+var obsRegKinds = map[string]string{
+	"Counter": "counter", "Gauge": "gauge", "Histogram": "histogram",
+	"VolatileCounter": "volatile counter", "VolatileGauge": "volatile gauge",
+	"VolatileHistogram": "volatile histogram",
+}
+
+func runObsnames(pass *Pass) {
+	if pkgPathHasSuffix(pass.Pkg.Path(), "internal/obs") {
+		return // the registry's own accessors forward name parameters
+	}
+	type registration struct {
+		kind string
+		pos  token.Pos
+	}
+	seen := map[string][]registration{}
+	var order []string // first-seen order, for deterministic reports
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || !pkgPathHasSuffix(fn.Pkg().Path(), "internal/obs") {
+				return true
+			}
+			kind, ok := obsRegKinds[fn.Name()]
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			if named, ok := derefNamed(sig.Recv().Type()); !ok || named.Obj().Name() != "Registry" {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pass.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(), "obs metric name must be a compile-time constant so the metric "+
+					"namespace is statically known; dynamic families have unbounded cardinality — "+
+					"enumerate the names, or suppress with the reason the family is bounded")
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !promNameRE.MatchString(name) {
+				pass.Reportf(arg.Pos(), "obs metric name %q is not a valid Prometheus metric name "+
+					"(must match %s)", name, promNameRE.String())
+				return true
+			}
+			if len(seen[name]) == 0 {
+				order = append(order, name)
+			}
+			seen[name] = append(seen[name], registration{kind: kind, pos: arg.Pos()})
+			return true
+		})
+	}
+	for _, name := range order {
+		regs := seen[name]
+		if len(regs) < 2 {
+			continue
+		}
+		for _, r := range regs[1:] {
+			if r.kind != regs[0].kind {
+				pass.Reportf(r.pos, "obs metric %q registered as both %s and %s; one name owns one kind",
+					name, regs[0].kind, r.kind)
+			} else {
+				pass.Reportf(r.pos, "obs metric %q registered from %d call sites in this package; "+
+					"register once and share the handle", name, len(regs))
+			}
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerShardsafe (cdnlint/shardsafe) enforces the PR 6 sharding
+// discipline as an ownership analysis. A struct type annotated
+//
+//	//cdnlint:shardowned
+//
+// holds per-shard state (a shard's kernel, calendar, intern table, pools,
+// mailboxes): its fields may only be touched from the owning shard's
+// context. An access is in the owner's context when it is rooted at
+//
+//   - the receiver of a method, when the receiver is (a pointer to) a
+//     shard-owned type — the shard operating on itself;
+//   - an owner link: a field of the method's receiver that is itself
+//     shard-owned (a Speaker's `sh` field — the speaker runs on that
+//     shard, so `s.sh.*` is the owning shard's own state);
+//   - a parameter of shard-owned type — by contract the caller hands a
+//     shard it owns, and the call sites are themselves checked;
+//
+// or when the whole function is one of
+//
+//   - a drain function: scheduled as an event callback on a netsim.Sim
+//     (passed by name to At/AtCall/After/AfterTimer) — event callbacks
+//     execute on the owning shard's simulator;
+//   - barrier-side: annotated //cdnlint:barrieronly, named Snapshot*/
+//     Restore* (quiescent whole-world operations), or an unexported
+//     function all of whose callers are already barrier-side. Between
+//     rounds the runner is single-threaded, so barrier code may touch any
+//     shard.
+//
+// Everything else — reading or writing a shard-owned field, or calling a
+// method on a shard-owned value, through an arbitrary expression — is a
+// potential cross-shard race and is reported. Cross-shard communication
+// must go through the value-typed mailbox/Exchanger path instead.
+var AnalyzerShardsafe = &Analyzer{
+	Name: "shardsafe",
+	Doc: "restrict access to //cdnlint:shardowned struct fields to the owning shard's drain path, " +
+		"//cdnlint:barrieronly functions, and owner-rooted method receivers; " +
+		"cross-shard data must ride the mailbox Exchanger",
+	Run: runShardsafe,
+}
+
+func runShardsafe(pass *Pass) {
+	owned := shardownedTypes(pass)
+	if len(owned) == 0 {
+		return
+	}
+	cg := buildCallGraph(pass)
+	barrier := barrierFuncs(cg)
+	drain := drainFuncs(pass, cg)
+	for _, fi := range cg.funcs {
+		if fi.decl.Body == nil || barrier[fi] || drain[fi] {
+			continue
+		}
+		checkShardAccess(pass, fi, owned)
+	}
+}
+
+// shardownedTypes collects the named types annotated //cdnlint:shardowned
+// (on the type spec or its enclosing type declaration).
+func shardownedTypes(pass *Pass) map[*types.TypeName]bool {
+	owned := map[*types.TypeName]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !funcHasMarker(ts.Doc, "shardowned") && !funcHasMarker(gd.Doc, "shardowned") {
+					continue
+				}
+				if tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok {
+					owned[tn] = true
+				}
+			}
+		}
+	}
+	return owned
+}
+
+// ownedTypeName returns the shard-owned type name behind t (through one
+// pointer), or nil.
+func ownedTypeName(t types.Type, owned map[*types.TypeName]bool) *types.TypeName {
+	named, ok := derefNamed(t)
+	if !ok || !owned[named.Obj()] {
+		return nil
+	}
+	return named.Obj()
+}
+
+// barrierFuncs computes the barrier-side set: functions annotated
+// //cdnlint:barrieronly or named Snapshot*/Restore*, closed under "every
+// caller of this unexported function is barrier-side". The export
+// restriction keeps the closure honest: an exported function can be called
+// from other packages the graph cannot see.
+func barrierFuncs(cg *callGraph) map[*funcInfo]bool {
+	set := map[*funcInfo]bool{}
+	for _, fi := range cg.funcs {
+		lower := strings.ToLower(fi.decl.Name.Name)
+		if funcHasMarker(fi.decl.Doc, "barrieronly") ||
+			strings.HasPrefix(lower, "snapshot") || strings.HasPrefix(lower, "restore") {
+			set[fi] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range cg.funcs {
+			if set[fi] || ast.IsExported(fi.decl.Name.Name) {
+				continue
+			}
+			all, anyIn := true, false
+			for _, c := range fi.callers {
+				if c == fi {
+					continue // self-recursion doesn't vouch for itself
+				}
+				if set[c] {
+					anyIn = true
+				} else {
+					all = false
+				}
+			}
+			if all && anyIn {
+				set[fi] = true
+				changed = true
+			}
+		}
+	}
+	return set
+}
+
+// drainFuncs computes the drain set: package functions passed by name as
+// arguments to netsim.Sim scheduling calls (At/AtCall/After/AfterTimer).
+// Those run as event callbacks on the owning shard's simulator, which is
+// exactly the shard's drain path.
+func drainFuncs(pass *Pass, cg *callGraph) map[*funcInfo]bool {
+	set := map[*funcInfo]bool{}
+	for _, fi := range cg.funcs {
+		if fi.decl.Body == nil {
+			continue
+		}
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || !netsimScheduling[fn.Name()] ||
+				!pkgPathHasSuffix(fn.Pkg().Path(), "netsim") {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			if named, ok := derefNamed(sig.Recv().Type()); !ok || named.Obj().Name() != "Sim" {
+				return true
+			}
+			for _, a := range call.Args {
+				if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+					if target := cg.funcFor(pass.Info.Uses[id]); target != nil {
+						set[target] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return set
+}
+
+// checkShardAccess reports shard-owned field/method accesses in fi that are
+// not rooted at an owner handle.
+func checkShardAccess(pass *Pass, fi *funcInfo, owned map[*types.TypeName]bool) {
+	handles := map[*types.Var]bool{} // receiver/params of shard-owned type
+	var recvVar *types.Var
+	if fi.decl.Recv != nil && len(fi.decl.Recv.List) == 1 && len(fi.decl.Recv.List[0].Names) == 1 {
+		if v, ok := pass.Info.Defs[fi.decl.Recv.List[0].Names[0]].(*types.Var); ok {
+			recvVar = v
+			if ownedTypeName(v.Type(), owned) != nil {
+				handles[v] = true
+			}
+		}
+	}
+	for _, field := range fi.decl.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := pass.Info.Defs[name].(*types.Var); ok && ownedTypeName(v.Type(), owned) != nil {
+				handles[v] = true
+			}
+		}
+	}
+
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.Info.Selections[sel]
+		if s == nil {
+			return true
+		}
+		tn := ownedTypeName(s.Recv(), owned)
+		if tn == nil {
+			return true
+		}
+		if allowedOwnedBase(pass, sel.X, handles, recvVar, owned) {
+			return true
+		}
+		kind := "field"
+		if s.Kind() == types.MethodVal {
+			kind = "method"
+		}
+		pass.Reportf(sel.Sel.Pos(), "%s %s of shard-owned type %s accessed outside the owning shard's "+
+			"drain path or the single-threaded barrier; route cross-shard data through the mailbox "+
+			"Exchanger, or annotate the function //cdnlint:barrieronly if it only runs between rounds",
+			kind, sel.Sel.Name, tn.Name())
+		return true
+	})
+}
+
+// allowedOwnedBase reports whether x, the base expression of a shard-owned
+// access, is an owner handle: the receiver/a shard-owned parameter, or an
+// owner link (a field selected directly off the method's receiver).
+func allowedOwnedBase(pass *Pass, x ast.Expr, handles map[*types.Var]bool, recvVar *types.Var, owned map[*types.TypeName]bool) bool {
+	switch base := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		v, ok := pass.Info.Uses[base].(*types.Var)
+		return ok && handles[v]
+	case *ast.SelectorExpr:
+		// Owner link: recv.f where recv is the method receiver. The access
+		// that brought us here already established that recv.f is
+		// shard-owned, and a struct holding a shard reference as a field
+		// (Speaker.sh) runs on that shard.
+		if recvVar == nil {
+			return false
+		}
+		s := pass.Info.Selections[base]
+		if s == nil || s.Kind() != types.FieldVal {
+			return false
+		}
+		id, ok := ast.Unparen(base.X).(*ast.Ident)
+		return ok && pass.Info.Uses[id] == recvVar
+	}
+	return false
+}

@@ -1,0 +1,17 @@
+// Package api is a skeletal, schema-clean stand-in for pkg/bestofboth/api,
+// shared by the detflow (wire-write sinks) and wirestable (diffStates
+// coverage) fixtures.
+package api
+
+type WorldState struct {
+	VirtualTime float64              `json:"virtualTime"`
+	Technique   string               `json:"technique"`
+	Sites       map[string]SiteState `json:"sites"`
+}
+
+type SiteState struct {
+	Code   string `json:"code"`
+	Node   string `json:"node"`
+	Prefix string `json:"prefix"`
+	Addr   string `json:"addr"`
+}

@@ -1,0 +1,100 @@
+// Package ctlplane exercises cdnlint/detflow: nondeterminism sources must
+// not flow into digests, snapshots, or wire encodes, however many
+// assignments or call frames launder them on the way.
+package ctlplane
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"bestofboth/api"
+)
+
+// digestNow hashes a wall-clock read through a local variable.
+func digestNow() [32]byte {
+	t := time.Now()
+	return sha256.Sum256([]byte(t.String())) // want `wall-clock time .* flows into the crypto/sha256\.Sum256 hash`
+}
+
+// stamp, label, digestDeep: the source is two frames up; function
+// summaries carry it down into the digest.
+func stamp() time.Time { return time.Now() }
+
+func label() string { return "run-" + stamp().String() }
+
+func digestDeep() [32]byte {
+	return sha256.Sum256([]byte(label())) // want `wall-clock time .* flows into the crypto/sha256\.Sum256 hash`
+}
+
+type server struct {
+	now func() time.Time
+}
+
+// record shows the clock hiding behind a func-typed field: the result-type
+// rule still catches it at the wire-field write.
+func (s *server) record(w *api.WorldState) {
+	w.Technique = s.now().String() // want `wall-clock time .* flows into wire field api\.WorldState\.Technique`
+}
+
+// sinkParam forwards its parameter into a hash, which turns every call
+// site into a sink.
+func sinkParam(name string) [32]byte {
+	return sha256.Sum256([]byte(name))
+}
+
+func hashHost() [32]byte {
+	return sinkParam(os.Getenv("CDN_HOST")) // want `environment read \(os\.Getenv\) flows into the crypto/sha256\.Sum256 hash \(via sinkParam\)`
+}
+
+// writeEnv marshals an environment read straight onto the wire.
+func writeEnv() ([]byte, error) {
+	host := os.Getenv("CDN_HOST")
+	return json.Marshal(host) // want `environment read \(os\.Getenv\) flows into JSON wire encoding \(json\.Marshal\)`
+}
+
+// hashPointer folds a pointer identity into a digest.
+func hashPointer(s *server) [32]byte {
+	id := fmt.Sprintf("%p", s)
+	return sha256.Sum256([]byte(id)) // want `pointer formatting \(%p\) flows into the crypto/sha256\.Sum256 hash`
+}
+
+// stampHash writes a wall-clock duration into a live hash.
+func stampHash(start time.Time) []byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d", time.Since(start)) // want `wall-clock duration \(time\.Since\) flows into a hash being written \(Digest\)`
+	return h.Sum(nil)
+}
+
+// hashKeys consumes map iteration order directly inside the loop.
+func hashKeys(m map[string]int) [][32]byte {
+	var out [][32]byte
+	for k := range m {
+		out = append(out, sha256.Sum256([]byte(k))) // want `map iteration order \(range variable k\) flows into the crypto/sha256\.Sum256 hash`
+	}
+	return out
+}
+
+// digestSorted launders map order through collect-sort-iterate: clean.
+func digestSorted(m map[string]int) [][32]byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out [][32]byte
+	for _, k := range keys {
+		out = append(out, sha256.Sum256([]byte(k)))
+	}
+	return out
+}
+
+// logTechnique stamps an operator-facing field on purpose; the suppression
+// carries the reason.
+func logTechnique(w *api.WorldState) {
+	//lint:ignore cdnlint/detflow operator-facing timestamp, never diffed or digested
+	w.Technique = time.Now().String()
+}

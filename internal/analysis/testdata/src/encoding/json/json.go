@@ -1,0 +1,6 @@
+// Package json is a skeletal stand-in for encoding/json.
+package json
+
+func Marshal(v any) ([]byte, error)                    { return nil, nil }
+func MarshalIndent(v any, p, i string) ([]byte, error) { return nil, nil }
+func Unmarshal(data []byte, v any) error               { return nil }

@@ -1,0 +1,48 @@
+// Package collector exercises cdnlint/errcmp: sentinel errors compared
+// with ==/!= (or switch cases) instead of errors.Is.
+package collector
+
+import (
+	"errors"
+	"io"
+)
+
+var errDrained = errors.New("collector drained")
+
+func read(next func() error) int {
+	n := 0
+	for {
+		err := next()
+		if err == nil { // nil comparisons are the idiom and stay allowed
+			n++
+			continue
+		}
+		if err == io.EOF { // want `sentinel error EOF compared with ==`
+			return n
+		}
+		if err != errDrained { // want `sentinel error errDrained compared with !=`
+			return -1
+		}
+		if errors.Is(err, io.EOF) { // the fix: no finding
+			return n
+		}
+	}
+}
+
+func classify(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case io.EOF: // want `switch case compares sentinel error EOF with ==`
+		return "eof"
+	default:
+		return "other"
+	}
+}
+
+// localCompare compares locally constructed errors: not sentinels.
+func localCompare() bool {
+	a := errors.New("a")
+	b := errors.New("b")
+	return a == b
+}

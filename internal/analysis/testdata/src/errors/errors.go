@@ -1,0 +1,10 @@
+// Package errors is a skeletal stand-in for errors.
+package errors
+
+func New(text string) error { return &errorString{text} }
+
+func Is(err, target error) bool { return err == target }
+
+type errorString struct{ s string }
+
+func (e *errorString) Error() string { return e.s }

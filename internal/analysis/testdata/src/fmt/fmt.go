@@ -1,7 +1,9 @@
 // Package fmt is a skeletal stand-in for fmt.
 package fmt
 
-func Sprintf(format string, a ...any) string      { return "" }
-func Errorf(format string, a ...any) error        { return nil }
-func Printf(format string, a ...any) (int, error) { return 0, nil }
-func Println(a ...any) (int, error)               { return 0, nil }
+func Sprintf(format string, a ...any) string              { return "" }
+func Sprint(a ...any) string                              { return "" }
+func Errorf(format string, a ...any) error                { return nil }
+func Printf(format string, a ...any) (int, error)         { return 0, nil }
+func Println(a ...any) (int, error)                       { return 0, nil }
+func Fprintf(w any, format string, a ...any) (int, error) { return 0, nil }

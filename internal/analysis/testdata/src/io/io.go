@@ -1,0 +1,7 @@
+// Package io is a skeletal stand-in for io: just the EOF sentinel errcmp
+// fixtures compare against.
+package io
+
+import "errors"
+
+var EOF = errors.New("EOF")

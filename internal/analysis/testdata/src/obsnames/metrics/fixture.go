@@ -1,0 +1,23 @@
+// Package metrics exercises cdnlint/obsnames: metric names must be
+// compile-time constants, valid Prometheus names, and registered from
+// exactly one call site per package.
+package metrics
+
+import "internal/obs"
+
+const reqName = "cdn_requests_total"
+
+func register(r *obs.Registry, site string) {
+	_ = r.Counter(reqName)
+	_ = r.Gauge("cdn_queue_depth")
+	_ = r.Histogram("cdn_rtt_seconds")
+	_ = r.VolatileCounter("cdn_volatile_rounds_total")
+
+	_ = r.Counter("cdn_site_" + site + "_total") // want `obs metric name must be a compile-time constant`
+	_ = r.Gauge("9starts-with-digit")            // want `not a valid Prometheus metric name`
+}
+
+func registerAgain(r *obs.Registry) {
+	_ = r.Counter(reqName)         // want `registered from 2 call sites`
+	_ = r.Gauge("cdn_rtt_seconds") // want `registered as both histogram and gauge`
+}

@@ -1,0 +1,10 @@
+// Package os is a skeletal stand-in for os, covering detflow's
+// environment-read sources.
+package os
+
+func Getenv(key string) string            { return "" }
+func LookupEnv(key string) (string, bool) { return "", false }
+func Environ() []string                   { return nil }
+func Hostname() (string, error)           { return "", nil }
+func Getpid() int                         { return 0 }
+func Getwd() (string, error)              { return "", nil }

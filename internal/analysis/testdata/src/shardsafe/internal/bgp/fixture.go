@@ -1,0 +1,106 @@
+// Package bgp exercises cdnlint/shardsafe: fields of //cdnlint:shardowned
+// structs may only be touched from the owning shard's context (receiver,
+// owner link, shard-typed parameter), the drain path (functions scheduled
+// by name on a netsim.Sim), or barrier-side code.
+package bgp
+
+import "internal/netsim"
+
+// kernel is one shard's private routing state.
+//
+//cdnlint:shardowned
+type kernel struct {
+	idx   int
+	queue []int
+	seq   uint64
+}
+
+func (k *kernel) size() int { return len(k.queue) }
+
+// emit runs on the owning shard: receiver access is fine.
+func (k *kernel) emit(v int) {
+	k.queue = append(k.queue, v)
+	k.seq++
+}
+
+type speaker struct {
+	k   *kernel
+	sim *netsim.Sim
+}
+
+// deliver touches its own shard through the owner link s.k: allowed.
+func (s *speaker) deliver(v int) {
+	s.k.emit(v)
+	s.k.seq++
+}
+
+// crossPeek reads another speaker's kernel: a cross-shard race.
+func (s *speaker) crossPeek(peer *speaker) uint64 {
+	return peer.k.seq // want `field seq of shard-owned type kernel accessed outside`
+}
+
+// steal calls a method on another shard's kernel: same race, method form.
+func (s *speaker) steal(peer *speaker) int {
+	return peer.k.size() // want `method size of shard-owned type kernel accessed outside`
+}
+
+type network struct {
+	kernels []*kernel
+	sim     *netsim.Sim
+}
+
+// poll sweeps every shard's state outside any sanctioned context.
+func (n *network) poll() int {
+	total := 0
+	for _, k := range n.kernels {
+		total += k.size() // want `method size of shard-owned type kernel accessed outside`
+	}
+	return total
+}
+
+// runDrain is scheduled by name on the simulator (see schedule), so it
+// executes as an event callback on the owning shard: allowed.
+func runDrain(arg any) {
+	n := arg.(*network)
+	for _, k := range n.kernels {
+		k.seq++
+	}
+}
+
+func (n *network) schedule() {
+	n.sim.AtCall(1, runDrain, n)
+}
+
+// mergeAll runs between rounds while the world is single-threaded.
+//
+//cdnlint:barrieronly
+func (n *network) mergeAll() {
+	for _, k := range n.kernels {
+		k.queue = k.queue[:0]
+	}
+	_ = n.collectSeqs()
+}
+
+// collectSeqs is unexported and called only from barrier-side functions,
+// so the closure admits it.
+func (n *network) collectSeqs() []uint64 {
+	var out []uint64
+	for _, k := range n.kernels {
+		out = append(out, k.seq)
+	}
+	return out
+}
+
+// snapshotKernels is barrier-side by name (Snapshot*/Restore* run on the
+// quiesced world).
+func (n *network) snapshotKernels() []uint64 {
+	return n.collectSeqs()
+}
+
+// rebalance takes the shard as a parameter: by contract the caller hands
+// over a shard it owns, and the call sites are themselves checked.
+func rebalance(k *kernel, budget int) {
+	for len(k.queue) > budget {
+		k.queue = k.queue[:len(k.queue)-1]
+	}
+}

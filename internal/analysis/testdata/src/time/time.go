@@ -7,8 +7,10 @@ type Duration int64
 
 const Second Duration = 1e9
 
-func (t Time) Add(d Duration) Time { return t }
-func (t Time) Sub(u Time) Duration { return 0 }
+func (t Time) Add(d Duration) Time         { return t }
+func (t Time) Sub(u Time) Duration         { return 0 }
+func (t Time) String() string              { return "" }
+func (t Time) Format(layout string) string { return "" }
 
 func Now() Time             { return Time{} }
 func Since(t Time) Duration { return 0 }

@@ -1,0 +1,36 @@
+// Package api exercises cdnlint/wirestable's schema rules: explicit json
+// tags, sorted-marshal wrappers on map fields, and apiVersion on
+// top-level wire types.
+package api
+
+// Manifest is a top-level artifact and carries apiVersion.
+type Manifest struct {
+	APIVersion string            `json:"apiVersion"`
+	Seed       int64             `json:"seed"`
+	Notes      string            // want `exported wire field Manifest\.Notes has no explicit json tag`
+	unexported int               // unexported fields are not wire format
+	Meta       map[string]string `json:"meta"` // want `map-typed wire field Manifest\.Meta marshals in unspecified order`
+	Tags       SortedTags        `json:"tags"`
+	Inner      Inner             `json:"inner"`
+}
+
+// Inner is referenced by Manifest, so it needs no apiVersion of its own.
+type Inner struct {
+	Value int `json:"value"`
+}
+
+// SortedTags is the sanctioned shape for map-valued wire data: a named
+// map type whose MarshalJSON emits keys in sorted order.
+type SortedTags map[string]string
+
+func (t SortedTags) MarshalJSON() ([]byte, error) { return nil, nil }
+
+// Envelope embeds a struct; the embedded field is wire format too.
+type Envelope struct {
+	APIVersion string `json:"apiVersion"`
+	Inner             // want `exported wire field Envelope\.Inner has no explicit json tag`
+}
+
+type Orphan struct { // want `top-level wire type Orphan has no apiVersion field`
+	Name string `json:"name"`
+}

@@ -1,0 +1,37 @@
+// Package ctlplane exercises cdnlint/wirestable's diffStates coverage
+// rule: every leaf of the api.WorldState schema must be compared by
+// diffStates or one of its in-package callees, or exempted with a reason.
+package ctlplane
+
+import "bestofboth/api"
+
+var diffExempt = map[string]string{
+	"SiteState.Node":  "node identity is rotation-dependent by design",
+	"SiteState.Bogus": "stale entry", // want `diffExempt names "SiteState\.Bogus", which is not a leaf`
+}
+
+// want+1 `schema leaf SiteState\.Addr is never compared by diffStates`
+func diffStates(pred, act api.WorldState) []string {
+	var out []string
+	if pred.VirtualTime != act.VirtualTime {
+		out = append(out, "virtualTime")
+	}
+	if pred.Technique != act.Technique {
+		out = append(out, "technique")
+	}
+	for code, p := range pred.Sites {
+		out = append(out, diffSite(p, act.Sites[code])...)
+	}
+	return out
+}
+
+func diffSite(p, a api.SiteState) []string {
+	var out []string
+	if p.Code != a.Code {
+		out = append(out, "code")
+	}
+	if p.Prefix != a.Prefix {
+		out = append(out, "prefix")
+	}
+	return out
+}
