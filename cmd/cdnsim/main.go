@@ -31,6 +31,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -153,7 +154,7 @@ func main() {
 		// daemon and owns its trailing flags — see cdnsim ctl -h.
 		if err := runCtlCmd(flag.Args()[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "cdnsim: %v\n", err)
-			if err == errReceiptFailed {
+			if errors.Is(err, errReceiptFailed) {
 				os.Exit(3)
 			}
 			os.Exit(1)

@@ -130,7 +130,7 @@ func ReadMRT(r io.Reader) ([]MRTEntry, error) {
 	for {
 		hdr := make([]byte, 12)
 		if _, err := io.ReadFull(br, hdr); err != nil {
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				return out, nil
 			}
 			return nil, fmt.Errorf("%w: truncated header: %v", ErrBadMRT, err)

@@ -9,6 +9,7 @@ package collector
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net/netip"
@@ -164,7 +165,7 @@ func ReadRIBDump(r io.Reader) ([]RIBEntry, error) {
 	for {
 		hdr := make([]byte, 12)
 		if _, err := io.ReadFull(br, hdr); err != nil {
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				return out, nil
 			}
 			return nil, fmt.Errorf("%w: truncated header: %v", ErrBadMRT, err)
