@@ -7,16 +7,6 @@ import (
 	"bestofboth/pkg/bestofboth/api"
 )
 
-// diffExempt lists the api.WorldState leaves diffStates deliberately does
-// not compare, with the reason. Everything else must be diffed: a field
-// added to the schema but not to diffStates silently weakens every
-// verification receipt.
-var diffExempt = map[string]string{
-	"SiteState.Node":   "immutable wiring, pinned by Code",
-	"SiteState.Prefix": "immutable addressing plan, pinned by Code",
-	"SiteState.Addr":   "immutable addressing plan, pinned by Code",
-}
-
 // leafCount counts the comparable leaf fields of t, descending structs,
 // pointers, and slice elements (counted once — diffStates walks sites
 // pairwise).

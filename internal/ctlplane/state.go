@@ -167,6 +167,17 @@ func catchmentsOf(w *experiment.World) api.Catchments {
 	return out
 }
 
+// diffExempt lists the api.WorldState leaves diffStates deliberately does
+// not compare, with the reason. Everything else must be diffed: a field
+// added to the schema but not to diffStates silently weakens every
+// verification receipt. TestDiffStatesCoversEverySchemaField enforces the
+// contract at test time; cdnlint/wirestable enforces it at lint time.
+var diffExempt = map[string]string{
+	"SiteState.Node":   "immutable wiring, pinned by Code",
+	"SiteState.Prefix": "immutable addressing plan, pinned by Code",
+	"SiteState.Addr":   "immutable addressing plan, pinned by Code",
+}
+
 // diffStates re-diffs a predicted post-state against the actual one,
 // producing the per-field divergence list of a verification receipt. Field
 // paths address the WorldState JSON schema ("sites[atl].load.shedMicroRPS").

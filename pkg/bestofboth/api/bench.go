@@ -7,7 +7,7 @@ type Benchmark struct {
 	NsPerOp     float64            `json:"nsPerOp"`
 	BytesPerOp  float64            `json:"bytesPerOp,omitempty"`
 	AllocsPerOp float64            `json:"allocsPerOp,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Metrics     SortedMap[float64] `json:"metrics,omitempty"`
 	// Procs is the GOMAXPROCS the benchmark ran under (the -P name
 	// suffix; 1 when absent). Wall-clock parallelism gates consult it:
 	// a single-proc run cannot demonstrate a parallel speedup.
@@ -37,5 +37,5 @@ type BenchFile struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 	// ReductionsVsBaselinePct maps benchmark name to its improvement over
 	// the embedded baseline.
-	ReductionsVsBaselinePct map[string]Reduction `json:"reductionsVsBaselinePct,omitempty"`
+	ReductionsVsBaselinePct SortedMap[Reduction] `json:"reductionsVsBaselinePct,omitempty"`
 }

@@ -1,0 +1,49 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+)
+
+// SortedMap is a string-keyed map that marshals with its keys in sorted
+// order, so every encoder — not just encoding/json, which happens to sort
+// map keys itself — observes one canonical byte sequence. Wire structs
+// use it for every map-valued field, keeping the package's determinism
+// contract independent of the consumer's JSON library, and it is what the
+// cdnlint/wirestable check points raw map fields at.
+//
+// A nil SortedMap marshals as null, like a plain nil map. Unmarshaling
+// needs no custom code: the underlying type is an ordinary map.
+type SortedMap[V any] map[string]V
+
+func (m SortedMap[V]) MarshalJSON() ([]byte, error) {
+	if m == nil {
+		return []byte("null"), nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(kb)
+		buf.WriteByte(':')
+		vb, err := json.Marshal(m[k])
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(vb)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
