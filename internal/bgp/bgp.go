@@ -306,6 +306,7 @@ func (n *Network) Instrument(r *obs.Registry) {
 		n.m.xshard = r.Counter("bgp_intershard_updates_total")
 		n.m.xfeed = r.Counter("bgp_intershard_feed_updates_total")
 		for _, sh := range n.shards {
+			//lint:ignore cdnlint/shardsafe instrumentation attaches at construction, before any shard goroutine exists
 			sh.sim.Instrument(r)
 		}
 		n.runner.Instrument(r)

@@ -29,10 +29,14 @@ import (
 // used to live on the Network: the AS-path intern table and the payload
 // free-lists are touched from the owning shard's goroutine only, and the
 // outgoing mailboxes are written by the owning shard and drained by the
-// barrier (which runs with all shards parked).
+// barrier (which runs with all shards parked). cdnlint/shardsafe enforces
+// the discipline: fields are reachable only from owner-rooted receivers,
+// the drain path, or barrier-side code.
+//
+//cdnlint:shardowned
 type shard struct {
-	idx int          //cdnlint:nosnapshot immutable wiring: position in Network.shards
-	sim *netsim.Sim  // kernel state snapshots via NetworkSnapshot.kernels
+	idx int         //cdnlint:nosnapshot immutable wiring: position in Network.shards
+	sim *netsim.Sim // kernel state snapshots via NetworkSnapshot.kernels
 
 	// intern deduplicates AS-path slices across this shard's speakers.
 	intern pathIntern //cdnlint:nosnapshot cache: restore reseeds it from the snapshot's adj-RIB-out paths
@@ -76,6 +80,7 @@ type feedMsg struct {
 //cdnlint:allocfree cross-shard sends append one value into the mailbox; no per-message heap traffic
 func (sh *shard) sendCross(at netsim.Seconds, peer *Speaker, rev int, u Update) {
 	sh.outSeq++
+	//lint:ignore cdnlint/shardsafe idx is immutable wiring; addressing the destination mailbox reads no mutable peer-shard state
 	dst := peer.sh.idx
 	sh.out[dst] = append(sh.out[dst], xmsg{at: at, peer: peer, rev: rev, epoch: peer.sessEpoch[rev], u: u, seq: sh.outSeq})
 }
@@ -105,6 +110,8 @@ func (sh *shard) newPendingExport() *pendingExport {
 type exchange struct{ n *Network }
 
 // MailboxPending reports buffered cross-shard messages awaiting merge.
+//
+//cdnlint:barrieronly
 func (e exchange) MailboxPending() int {
 	total := 0
 	for _, sh := range e.n.shards {
@@ -120,6 +127,8 @@ func (e exchange) MailboxPending() int {
 // are visited in index order and each buffer in append (sequence) order, so
 // deliveries tied on timestamps execute in (source shard, source sequence)
 // order — deterministic regardless of which shard finished its round first.
+//
+//cdnlint:barrieronly
 func (e exchange) Merge() {
 	for _, src := range e.n.shards {
 		e.n.mergeUpdates(src)
@@ -275,6 +284,9 @@ func (n *Network) Shards() int { return len(n.shards) }
 // executed so far, in shard-index order. The max/mean ratio of these is
 // the event-imbalance the seeded BFS-chunk partitioner leaves on the
 // table — the tracked baseline for a future load-aware partitioner.
+// Callers read it between rounds (or after the run), with shards parked.
+//
+//cdnlint:barrieronly
 func (n *Network) ShardEventCounts() []uint64 {
 	counts := make([]uint64, len(n.shards))
 	for i, s := range n.shards {
