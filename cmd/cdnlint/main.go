@@ -24,6 +24,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"go/ast"
@@ -38,6 +39,7 @@ import (
 	"strings"
 
 	"bestofboth/internal/analysis"
+	"bestofboth/pkg/bestofboth/api"
 )
 
 func main() {
@@ -45,6 +47,7 @@ func main() {
 	flagFlags := flag.Bool("flags", false, "print flag descriptions in JSON and exit (vet tool protocol)")
 	flagChecks := flag.String("checks", "", "comma-separated checks to run (default: all)")
 	flagList := flag.Bool("list", false, "list available checks and exit")
+	flagJSON := flag.Bool("json", false, "emit an api.LintReport on stdout instead of plain text (standalone mode only)")
 	flag.Parse()
 
 	switch {
@@ -69,9 +72,11 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		// go vet owns the output format in vet mode; -json applies to the
+		// standalone driver only.
 		os.Exit(runVet(args[0], analyzers, opts))
 	}
-	os.Exit(runStandalone(args, analyzers, opts))
+	os.Exit(runStandalone(args, analyzers, opts, *flagJSON))
 }
 
 func fatalf(format string, args ...any) {
@@ -123,8 +128,11 @@ type listPackage struct {
 
 // runStandalone loads the packages matching the patterns (default ./...)
 // with `go list -export -json -deps`, type-checks each target against
-// the export data of its dependencies, and reports diagnostics.
-func runStandalone(patterns []string, analyzers []*analysis.Analyzer, opts analysis.Options) int {
+// the export data of its dependencies, and reports diagnostics — as
+// plain text lines, or as one api.LintReport document when jsonOut is
+// set. Either way the exit code is 1 exactly when unsuppressed findings
+// exist.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, opts analysis.Options, jsonOut bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -140,7 +148,7 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, opts analy
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPackage
-		if err := dec.Decode(&p); err == io.EOF {
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			fatalf("decoding go list output: %v", err)
@@ -157,6 +165,12 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, opts analy
 		}
 	}
 
+	var checks []string
+	for _, a := range analyzers {
+		checks = append(checks, a.Name)
+	}
+	report := api.NewLintReport(checks)
+
 	fset := token.NewFileSet()
 	imp := exportDataImporter(fset, exports)
 	exit := 0
@@ -172,16 +186,45 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, opts analy
 		for _, f := range p.GoFiles {
 			files = append(files, filepath.Join(p.Dir, f))
 		}
-		diags, err := analyze(fset, imp, p.ImportPath, files, analyzers, opts)
+		res, err := analyze(fset, imp, p.ImportPath, files, analyzers, opts)
 		if err != nil {
 			fatalf("%s: %v", p.ImportPath, err)
 		}
-		for _, d := range diags {
-			fmt.Println(relativized(d).String())
+		for _, d := range res.Diagnostics {
+			if jsonOut {
+				report.Findings = append(report.Findings, toFinding(relativized(d), false, ""))
+			} else {
+				fmt.Println(relativized(d).String())
+			}
 			exit = 1
 		}
+		if jsonOut {
+			for _, s := range res.Suppressed {
+				report.Findings = append(report.Findings, toFinding(relativized(s.Diagnostic), true, s.Reason))
+			}
+		}
+	}
+	if jsonOut {
+		out, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatalf("encoding report: %v", err)
+		}
+		fmt.Printf("%s\n", out)
 	}
 	return exit
+}
+
+// toFinding converts one diagnostic into its wire form.
+func toFinding(d analysis.Diagnostic, suppressed bool, reason string) api.LintFinding {
+	return api.LintFinding{
+		File:       d.Pos.Filename,
+		Line:       d.Pos.Line,
+		Col:        d.Pos.Column,
+		Check:      d.Check,
+		Message:    d.Message,
+		Suppressed: suppressed,
+		Reason:     reason,
+	}
 }
 
 // relativized rewrites the diagnostic's path relative to the working
@@ -260,17 +303,17 @@ func runVet(cfgPath string, analyzers []*analysis.Analyzer, opts analysis.Option
 		return os.Open(file)
 	}
 	imp := importer.ForCompiler(fset, "gc", lookup)
-	diags, err := analyze(fset, imp, cfg.ImportPath, files, analyzers, opts)
+	res, err := analyze(fset, imp, cfg.ImportPath, files, analyzers, opts)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
 		}
 		fatalf("%s: %v", cfg.ImportPath, err)
 	}
-	for _, d := range diags {
+	for _, d := range res.Diagnostics {
 		fmt.Fprintln(os.Stderr, d.String())
 	}
-	if len(diags) > 0 {
+	if len(res.Diagnostics) > 0 {
 		return 2 // the exit code go vet expects for findings
 	}
 	return 0
@@ -292,12 +335,12 @@ func exportDataImporter(fset *token.FileSet, exports map[string]string) types.Im
 // analyze parses and type-checks one package's files and runs the
 // analyzers over it.
 func analyze(fset *token.FileSet, imp types.Importer, path string, filenames []string,
-	analyzers []*analysis.Analyzer, opts analysis.Options) ([]analysis.Diagnostic, error) {
+	analyzers []*analysis.Analyzer, opts analysis.Options) (analysis.Result, error) {
 	var files []*ast.File
 	for _, name := range filenames {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return analysis.Result{}, err
 		}
 		files = append(files, f)
 	}
@@ -311,7 +354,7 @@ func analyze(fset *token.FileSet, imp types.Importer, path string, filenames []s
 	conf := types.Config{Importer: imp}
 	pkg, err := conf.Check(path, fset, files, info)
 	if err != nil {
-		return nil, err
+		return analysis.Result{}, err
 	}
-	return analysis.Run(&analysis.Package{Fset: fset, Files: files, Pkg: pkg, Info: info}, analyzers, opts), nil
+	return analysis.RunDetailed(&analysis.Package{Fset: fset, Files: files, Pkg: pkg, Info: info}, analyzers, opts), nil
 }

@@ -1,0 +1,330 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"bestofboth/pkg/bestofboth/api"
+)
+
+// The driver tests re-exec the test binary as cdnlint itself, so the
+// handshake (-V=full, -flags), the vet.cfg protocol, and the exit codes
+// are exercised exactly as go vet sees them.
+func TestMain(m *testing.M) {
+	if os.Getenv("CDNLINT_BE_TOOL") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runTool execs the test binary in tool mode and returns its streams and
+// exit code.
+func runTool(t *testing.T, dir string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CDNLINT_BE_TOOL=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running tool: %v", err)
+	}
+	return out.String(), errb.String(), code
+}
+
+func TestVersionHandshake(t *testing.T) {
+	out, _, code := runTool(t, "", "-V=full")
+	if code != 0 {
+		t.Fatalf("-V=full exited %d", code)
+	}
+	// go vet folds the reported build ID into its action cache key, so the
+	// line must be well-formed and stable for an unchanged binary.
+	re := regexp.MustCompile(`^cdnlint version devel buildID=[0-9a-f]{24}\n$`)
+	if !re.MatchString(out) {
+		t.Fatalf("malformed -V=full output: %q", out)
+	}
+	again, _, _ := runTool(t, "", "-V=full")
+	if again != out {
+		t.Fatalf("build ID not stable across runs of the same binary: %q vs %q", out, again)
+	}
+}
+
+func TestFlagsHandshake(t *testing.T) {
+	out, _, code := runTool(t, "", "-flags")
+	if code != 0 {
+		t.Fatalf("-flags exited %d", code)
+	}
+	var descs []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal([]byte(out), &descs); err != nil {
+		t.Fatalf("-flags output is not the JSON go vet expects: %v\n%s", err, out)
+	}
+	if len(descs) != 1 || descs[0].Name != "checks" || descs[0].Bool {
+		t.Fatalf("want exactly the forwardable string flag 'checks', got %+v", descs)
+	}
+}
+
+// sentinelSrc trips errcmp (direct == against a package-level sentinel)
+// without importing anything, so the vet.cfg needs no export data.
+const sentinelSrc = `package demo
+
+type failure struct{}
+
+func (failure) Error() string { return "failure" }
+
+var ErrStop error = failure{}
+
+func Stopped(err error) bool { return err == ErrStop }
+`
+
+const cleanSrc = `package demo
+
+func Add(a, b int) int { return a + b }
+`
+
+// writeVetConfig writes a minimal vet.cfg for a one-file dependency-free
+// package and returns the cfg path plus the VetxOutput path it names.
+func writeVetConfig(t *testing.T, dir, id string, goFiles []string, vetxOnly bool) (cfgPath, vetxPath string) {
+	t.Helper()
+	vetxPath = filepath.Join(dir, "demo.vetx")
+	cfg := vetConfig{
+		ID:          id,
+		ImportPath:  "demo",
+		GoFiles:     goFiles,
+		ImportMap:   map[string]string{},
+		PackageFile: map[string]string{},
+		VetxOnly:    vetxOnly,
+		VetxOutput:  vetxPath,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath = filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath, vetxPath
+}
+
+func TestVetConfigFindings(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "demo.go")
+	if err := os.WriteFile(src, []byte(sentinelSrc), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfgPath, vetxPath := writeVetConfig(t, dir, "demo", []string{src}, false)
+
+	out, errOut, code := runTool(t, "", cfgPath)
+	if code != 2 {
+		t.Fatalf("findings must exit 2 (go vet's convention), got %d\nstderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "[cdnlint/errcmp]") {
+		t.Fatalf("diagnostics must go to stderr, got: %q", errOut)
+	}
+	if out != "" {
+		t.Fatalf("vet mode must keep stdout clean for the driver, got: %q", out)
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Fatalf("vetx facts file not written: %v", err)
+	}
+}
+
+func TestVetConfigVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "demo.go")
+	if err := os.WriteFile(src, []byte(sentinelSrc), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfgPath, vetxPath := writeVetConfig(t, dir, "demo", []string{src}, true)
+
+	out, errOut, code := runTool(t, "", cfgPath)
+	if code != 0 || out != "" || errOut != "" {
+		t.Fatalf("VetxOnly runs must be silent and clean: code=%d stdout=%q stderr=%q", code, out, errOut)
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Fatalf("VetxOnly must still write the facts file: %v", err)
+	}
+}
+
+func TestVetConfigSkipsTestAugmentation(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "demo.go")
+	if err := os.WriteFile(src, []byte(sentinelSrc), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfgPath, _ := writeVetConfig(t, dir, "demo [demo.test]", []string{src}, false)
+
+	_, errOut, code := runTool(t, "", cfgPath)
+	if code != 0 || errOut != "" {
+		t.Fatalf("test-augmented package variants are out of scope: code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestVetConfigFiltersTestFiles(t *testing.T) {
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "demo.go")
+	bad := filepath.Join(dir, "demo_test.go")
+	if err := os.WriteFile(clean, []byte(cleanSrc), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte(sentinelSrc), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfgPath, _ := writeVetConfig(t, dir, "demo", []string{clean, bad}, false)
+
+	_, errOut, code := runTool(t, "", cfgPath)
+	if code != 0 || errOut != "" {
+		t.Fatalf("_test.go files must not be analyzed: code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestVetConfigMalformed(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, []byte("{not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code := runTool(t, "", cfgPath)
+	if code != 3 {
+		t.Fatalf("operational failures must exit 3, got %d (stderr %q)", code, errOut)
+	}
+}
+
+func TestVetConfigTypecheckFailure(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "demo.go")
+	if err := os.WriteFile(src, []byte("package demo\n\nvar x undefinedType\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfgPath, _ := writeVetConfig(t, dir, "demo", []string{src}, false)
+
+	_, _, code := runTool(t, "", cfgPath)
+	if code != 3 {
+		t.Fatalf("type errors without SucceedOnTypecheckFailure must exit 3, got %d", code)
+	}
+
+	var cfg vetConfig
+	data, _ := os.ReadFile(cfgPath)
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.SucceedOnTypecheckFailure = true
+	data, _ = json.Marshal(cfg)
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code := runTool(t, "", cfgPath)
+	if code != 0 {
+		t.Fatalf("SucceedOnTypecheckFailure must swallow type errors, got %d (stderr %q)", code, errOut)
+	}
+}
+
+// writeDemoModule lays out a dependency-free module with one active
+// finding and one suppressed one for standalone-driver tests.
+func writeDemoModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module demo\n\ngo 1.22\n",
+		"demo.go": `package demo
+
+type failure struct{}
+
+func (failure) Error() string { return "failure" }
+
+var ErrStop error = failure{}
+
+func Stopped(err error) bool { return err == ErrStop }
+
+func Halted(err error) bool {
+	//lint:ignore cdnlint/errcmp exercising suppression in the driver test
+	return err == ErrStop
+}
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestStandaloneText(t *testing.T) {
+	dir := writeDemoModule(t)
+	out, errOut, code := runTool(t, dir, "./...")
+	if code != 1 {
+		t.Fatalf("standalone findings must exit 1, got %d\nstderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "demo.go:9:") || !strings.Contains(out, "[cdnlint/errcmp]") {
+		t.Fatalf("want a relativized file:line:col errcmp finding on stdout, got: %q", out)
+	}
+	if strings.Count(strings.TrimSpace(out), "\n") != 0 {
+		t.Fatalf("the suppressed finding must not print in text mode, got: %q", out)
+	}
+}
+
+func TestStandaloneJSONReport(t *testing.T) {
+	dir := writeDemoModule(t)
+	out, errOut, code := runTool(t, dir, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("-json must keep the findings exit code, got %d\nstderr: %s", code, errOut)
+	}
+	var report api.LintReport
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("stdout is not a LintReport: %v\n%s", err, out)
+	}
+	if report.APIVersion != api.Version {
+		t.Fatalf("report apiVersion = %q, want %q", report.APIVersion, api.Version)
+	}
+	if len(report.Checks) != 10 {
+		t.Fatalf("want all 10 checks listed, got %v", report.Checks)
+	}
+	var active, suppressed int
+	for _, f := range report.Findings {
+		if f.Check != "errcmp" || f.File != "demo.go" || f.Line == 0 {
+			t.Fatalf("unexpected finding %+v", f)
+		}
+		if f.Suppressed {
+			suppressed++
+			if f.Reason != "exercising suppression in the driver test" {
+				t.Fatalf("suppressed finding lost its reason: %+v", f)
+			}
+		} else {
+			active++
+		}
+	}
+	if active != 1 || suppressed != 1 {
+		t.Fatalf("want 1 active + 1 suppressed finding, got %d + %d:\n%s", active, suppressed, out)
+	}
+}
+
+func TestStandaloneCleanExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module demo\n\ngo 1.22\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "demo.go"), []byte(cleanSrc), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	out, errOut, code := runTool(t, dir, "./...")
+	if code != 0 || out != "" {
+		t.Fatalf("clean tree must exit 0 silently: code=%d stdout=%q stderr=%q", code, out, errOut)
+	}
+}

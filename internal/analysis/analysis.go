@@ -96,10 +96,34 @@ type Options struct {
 	StaleCheck bool
 }
 
+// Suppressed is a diagnostic silenced by a //lint:ignore directive,
+// retained (with the directive's reason) for machine-readable reports.
+type Suppressed struct {
+	Diagnostic
+	Reason string
+}
+
+// Result is the full outcome of a RunDetailed invocation.
+type Result struct {
+	// Diagnostics are the surviving findings (including the suppression
+	// machinery's own), sorted by position.
+	Diagnostics []Diagnostic
+	// Suppressed are the findings //lint:ignore silenced, sorted by
+	// position. They never affect exit codes; reports carry them so a
+	// reviewer can audit every active suppression in one place.
+	Suppressed []Suppressed
+}
+
 // Run executes the analyzers over pkg, applies //lint:ignore suppression,
 // and returns the surviving diagnostics (including the suppression
 // machinery's own findings) sorted by position.
 func Run(pkg *Package, analyzers []*Analyzer, opts Options) []Diagnostic {
+	return RunDetailed(pkg, analyzers, opts).Diagnostics
+}
+
+// RunDetailed is Run, but it also keeps the diagnostics that //lint:ignore
+// directives suppressed, paired with the directives' reasons.
+func RunDetailed(pkg *Package, analyzers []*Analyzer, opts Options) Result {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -114,29 +138,37 @@ func Run(pkg *Package, analyzers []*Analyzer, opts Options) []Diagnostic {
 	}
 
 	igns, ignDiags := collectIgnores(pkg.Fset, pkg.Files)
-	diags = applyIgnores(diags, igns)
+	diags, suppressed := applyIgnores(diags, igns)
 	diags = append(diags, ignDiags...)
 	if opts.StaleCheck {
 		diags = append(diags, staleIgnores(igns)...)
 	}
 
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		if a.Check != b.Check {
-			return a.Check < b.Check
-		}
-		return a.Message < b.Message
+	sortDiags(diags)
+	sort.Slice(suppressed, func(i, j int) bool {
+		return diagLess(suppressed[i].Diagnostic, suppressed[j].Diagnostic)
 	})
-	return diags
+	return Result{Diagnostics: diags, Suppressed: suppressed}
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool { return diagLess(diags[i], diags[j]) })
+}
+
+func diagLess(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	if a.Check != b.Check {
+		return a.Check < b.Check
+	}
+	return a.Message < b.Message
 }
 
 // pkgPathHasSuffix reports whether path equals suffix or ends with

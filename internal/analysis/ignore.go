@@ -82,15 +82,17 @@ func knownCheck(short string) bool {
 	return false
 }
 
-// applyIgnores filters out diagnostics matched by a directive. A
+// applyIgnores splits the diagnostics into survivors and suppressed. A
 // directive matches findings of its named checks located in the same file
 // on the directive's own line (trailing comment) or the line directly
-// below it (comment on its own line above the offending code).
-func applyIgnores(diags []Diagnostic, igns []*ignoreDirective) []Diagnostic {
+// below it (comment on its own line above the offending code); suppressed
+// findings keep the directive's reason for machine-readable reports.
+func applyIgnores(diags []Diagnostic, igns []*ignoreDirective) ([]Diagnostic, []Suppressed) {
 	if len(igns) == 0 {
-		return diags
+		return diags, nil
 	}
 	var out []Diagnostic
+	var silenced []Suppressed
 	for _, d := range diags {
 		suppressed := false
 		for _, ign := range igns {
@@ -104,6 +106,7 @@ func applyIgnores(diags []Diagnostic, igns []*ignoreDirective) []Diagnostic {
 				if c == d.Check {
 					ign.used = true
 					suppressed = true
+					silenced = append(silenced, Suppressed{Diagnostic: d, Reason: ign.reason})
 					break
 				}
 			}
@@ -115,7 +118,7 @@ func applyIgnores(diags []Diagnostic, igns []*ignoreDirective) []Diagnostic {
 			out = append(out, d)
 		}
 	}
-	return out
+	return out, silenced
 }
 
 // staleIgnores reports directives that suppressed nothing: the finding

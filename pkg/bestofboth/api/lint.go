@@ -1,0 +1,41 @@
+package api
+
+// LintReport is the machine-readable document `cdnlint -json` emits: one
+// run of the analyzer suite over a set of packages, listing both the
+// active findings (which gate the exit code) and the findings silenced by
+// //lint:ignore directives (which let a reviewer audit every live
+// suppression, with its reason, from the CI artifact alone).
+type LintReport struct {
+	// APIVersion is the wire-schema version (Version).
+	APIVersion string `json:"apiVersion"`
+	// Checks names every analyzer that ran, in execution order.
+	Checks []string `json:"checks"`
+	// Findings holds active diagnostics and suppressed ones alike,
+	// sorted by file, line, column; entries with Suppressed set did not
+	// contribute to the exit code.
+	Findings []LintFinding `json:"findings"`
+}
+
+// LintFinding is one diagnostic in a LintReport.
+type LintFinding struct {
+	// File is the path as printed, relative to the working directory
+	// when it lies beneath it.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Check is the short analyzer name ("detrand", ...), without the
+	// "cdnlint/" prefix; "ignore" marks diagnostics from the suppression
+	// machinery itself.
+	Check   string `json:"check"`
+	Message string `json:"message"`
+	// Suppressed is set when a //lint:ignore directive silenced the
+	// finding; Reason carries the directive's justification.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// NewLintReport returns an empty report stamped with the current schema
+// version.
+func NewLintReport(checks []string) *LintReport {
+	return &LintReport{APIVersion: Version, Checks: checks, Findings: []LintFinding{}}
+}

@@ -107,6 +107,18 @@ func TestChangeSetRoundTrip(t *testing.T) {
 	})
 }
 
+func TestLintReportRoundTrip(t *testing.T) {
+	r := NewLintReport([]string{"detrand", "errcmp"})
+	r.Findings = append(r.Findings,
+		LintFinding{File: "internal/bgp/bgp.go", Line: 12, Col: 9, Check: "errcmp",
+			Message: "error compared with == against sentinel io.EOF; use errors.Is"},
+		LintFinding{File: "internal/ctlplane/server.go", Line: 341, Col: 14, Check: "detrand",
+			Message:    "wall-clock time flows into a wire literal",
+			Suppressed: true, Reason: "documented operational timestamp"},
+	)
+	roundTrip(t, *r)
+}
+
 func TestWorldInfoRoundTrip(t *testing.T) {
 	roundTrip(t, WorldInfo{
 		APIVersion:    Version,
