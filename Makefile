@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet lint lint-vet govulncheck race race-full bench bench-baseline bench-smoke bench-json shard-equivalence ctlplane-smoke ci
+.PHONY: tier1 vet lint lint-vet lint-json lint-fixtures govulncheck race race-full bench bench-baseline bench-smoke bench-json shard-equivalence ctlplane-smoke ci
 
 # Tier-1 gate: must stay green (see ROADMAP.md).
 tier1:
@@ -20,6 +20,19 @@ lint:
 lint-vet:
 	$(GO) build -o bin/cdnlint ./cmd/cdnlint
 	$(GO) vet -vettool=bin/cdnlint ./...
+
+# Machine-readable lint run: LINT.json is a versioned api.LintReport that
+# also inventories every //lint:ignore-suppressed finding with its reason.
+# CI uploads it as an artifact (even when findings fail the step, so the
+# report that explains the failure is always available).
+lint-json:
+	$(GO) run ./cmd/cdnlint -json ./... > LINT.json
+
+# The analyzers' own test suites: the // want fixture corpus under
+# internal/analysis/testdata plus the standalone/vet driver handshake
+# tests (exec'd as subprocesses).
+lint-fixtures:
+	$(GO) test -count=1 ./internal/analysis/ ./cmd/cdnlint/
 
 # Vulnerability scan, tolerant of offline environments: skips with a
 # warning when govulncheck is not installed or the vulnerability database
